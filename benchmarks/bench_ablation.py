@@ -1,0 +1,60 @@
+"""X-ABL — design-choice ablations (window, semantics, skip rule, zoo).
+
+Regenerates the four headline ablations on a reduced workload and asserts
+their qualitative outcomes; pytest-benchmark records regeneration cost.
+"""
+
+from benchmarks.conftest import EVAL_LENGTH
+from repro.experiments.ablation import (
+    run_policy_zoo,
+    run_semantics_ablation,
+    run_skip_mode_ablation,
+    run_window_sweep,
+)
+from repro.workloads.scenarios import paper_evaluation_workload
+
+
+def _workload():
+    return paper_evaluation_workload(length=min(EVAL_LENGTH, 100))
+
+
+def test_ablation_window_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_window_sweep, args=(_workload(),), kwargs={"windows": (0, 1, 2, 4)},
+        rounds=1, iterations=1,
+    )
+    by_label = {r.label: r.reuse_pct for r in rows}
+    # Reuse is monotone (within noise) in the DL window and bounded by LFD.
+    assert by_label["Local LFD (0)"] <= by_label["Local LFD (4)"] + 1e-9
+    assert by_label["Local LFD (4)"] <= by_label["LFD (oracle)"] + 1e-9
+    print("\nA1 window sweep:", by_label)
+
+
+def test_ablation_semantics(benchmark):
+    rows = benchmark.pedantic(
+        run_semantics_ablation, args=(_workload(),), rounds=1, iterations=1
+    )
+    assert len(rows) == 3
+    print("\nA2 semantics:", {r.label: r.overhead_ms for r in rows})
+
+
+def test_ablation_skip_modes(benchmark):
+    rows = benchmark.pedantic(
+        run_skip_mode_ablation, args=(_workload(),), rounds=1, iterations=1
+    )
+    by_label = {r.label: r for r in rows}
+    # Both skip rules add reuse over plain ASAP; prospect never skips more
+    # than literal (its condition is strictly stronger).
+    assert by_label["skip mode: literal"].reuse_pct >= by_label["no skips (ASAP)"].reuse_pct
+    assert by_label["skip mode: prospect"].n_skips <= by_label["skip mode: literal"].n_skips
+    print("\nA3 skip rules:", {r.label: (r.reuse_pct, r.overhead_ms, r.n_skips) for r in rows})
+
+
+def test_ablation_policy_zoo(benchmark):
+    rows = benchmark.pedantic(
+        run_policy_zoo, args=(_workload(),), rounds=1, iterations=1
+    )
+    by_label = {r.label: r.reuse_pct for r in rows}
+    assert by_label["LFD"] == max(by_label.values())
+    assert by_label["Local LFD (1)"] >= by_label["LRU"]
+    print("\nA4 policy zoo:", by_label)

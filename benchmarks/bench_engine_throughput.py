@@ -1,0 +1,37 @@
+"""Engine throughput — simulator events/second (supporting bench).
+
+Not a paper artifact, but the quantity that makes the 500-application
+evaluation tractable; regressions here make every figure slower to
+regenerate.  Also benchmarks the design-time phase per graph.
+"""
+
+from repro.core.mobility import MobilityCalculator
+from repro.core.policies.lfd import LocalLFDPolicy
+from repro.core.replacement_module import PolicyAdvisor
+from repro.graphs.multimedia import benchmark_suite
+from repro.sim.semantics import ManagerSemantics
+from repro.sim.simulator import simulate
+from repro.workloads.scenarios import paper_evaluation_workload
+
+
+def test_simulate_100_apps(benchmark):
+    workload = paper_evaluation_workload(length=100)
+    apps = list(workload.apps)
+
+    def run():
+        return simulate(
+            apps,
+            4,
+            workload.reconfig_latency,
+            PolicyAdvisor(LocalLFDPolicy()),
+            ManagerSemantics(lookahead_apps=1),
+        )
+
+    result = benchmark(run)
+    assert result.trace.n_executions == workload.n_tasks
+
+
+def test_mobility_tables_for_suite(benchmark):
+    calc = MobilityCalculator(n_rus=4, reconfig_latency=4000)
+    tables = benchmark(calc.compute_tables, benchmark_suite())
+    assert set(tables) == {"JPEG", "MPEG1", "HOUGH"}

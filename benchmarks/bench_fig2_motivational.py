@@ -1,0 +1,29 @@
+"""M-FIG2 — regenerate the paper's Fig. 2 motivational comparison.
+
+Asserts the exact paper numbers (they reproduce exactly under the
+calibrated fixtures) and benchmarks the cost of the three simulations.
+"""
+
+import pytest
+
+from repro.experiments.motivational import run_fig2
+
+PAPER = {
+    "LRU": (16.7, 22.0),
+    "LFD": (41.7, 11.0),
+    "Local LFD (1)": (41.7, 15.0),
+}
+
+
+def _check(rows):
+    measured = {r.label: (r.reuse_pct, r.overhead_ms) for r in rows}
+    assert measured == PAPER
+    return measured
+
+
+def test_fig2_motivational(benchmark):
+    rows = benchmark(run_fig2)
+    measured = _check(rows)
+    print("\nFig. 2 (reuse %, overhead ms) — measured == paper:")
+    for label, cell in measured.items():
+        print(f"  {label:15s} {cell}")

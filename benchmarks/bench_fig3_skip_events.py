@@ -1,0 +1,21 @@
+"""M-FIG3 — regenerate the paper's Fig. 3 skip-event example.
+
+Asserts the exact paper numbers: ASAP 0 % / 12 ms / 74 ms vs
+Skip Events 10 % / 8 ms / 70 ms.
+"""
+
+from repro.experiments.motivational import run_fig3
+
+PAPER = {
+    "Local LFD ASAP": (0.0, 12.0, 74.0),
+    "Local LFD + Skip Events": (10.0, 8.0, 70.0),
+}
+
+
+def test_fig3_skip_events(benchmark):
+    rows = benchmark(run_fig3)
+    measured = {r.label: (r.reuse_pct, r.overhead_ms, r.makespan_ms) for r in rows}
+    assert measured == PAPER
+    print("\nFig. 3 (reuse %, overhead ms, makespan ms) — measured == paper:")
+    for label, cell in measured.items():
+        print(f"  {label:25s} {cell}")

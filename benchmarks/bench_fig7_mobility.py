@@ -1,0 +1,19 @@
+"""M-FIG7 — regenerate the paper's Fig. 7 mobility-calculation example.
+
+Asserts every schedule length of the worked example and the resulting
+mobilities; benchmarks the design-time phase itself.
+"""
+
+from repro.experiments.motivational import run_fig7
+
+
+def test_fig7_mobility_calculation(benchmark):
+    result = benchmark(run_fig7)
+    assert result.reference_makespan_ms == 30.0
+    assert result.delay5_makespan_ms == 36.0
+    assert result.delay6_makespan_ms == 32.0
+    assert result.delay7_once_makespan_ms == 30.0
+    assert result.delay7_twice_makespan_ms == 32.0
+    assert dict(result.mobilities) == {4: 0, 5: 0, 6: 0, 7: 1}
+    print("\nFig. 7 — reference 30 ms; delays 36/32/30/32 ms; "
+          "mobilities {4:0, 5:0, 6:0, 7:1} (all == paper)")

@@ -1,0 +1,36 @@
+"""E-FIG9A — reuse rate vs number of RUs, ASAP loading.
+
+Shape targets (paper, 500 apps): LRU avg ≈30.1 %, LFD avg ≈46.0 %
+(optimal), Local LFD(1) close to LFD, Local LFD(4) ≈ LFD.  The bench runs
+a reduced 150-app workload (see conftest) — the ordering and convergence
+hold at any length; `repro-experiments fig9a` runs the full 500.
+"""
+
+from benchmarks.conftest import EVAL_RU_COUNTS
+from repro.experiments.fig9 import run_fig9a
+
+
+def test_fig9a_reuse_rates(benchmark, eval_workload):
+    sweep = benchmark.pedantic(
+        run_fig9a, args=(eval_workload, EVAL_RU_COUNTS), rounds=1, iterations=1
+    )
+
+    lru = sweep.average("LRU", "reuse_pct")
+    local1 = sweep.average("Local LFD (1)", "reuse_pct")
+    local2 = sweep.average("Local LFD (2)", "reuse_pct")
+    local4 = sweep.average("Local LFD (4)", "reuse_pct")
+    lfd = sweep.average("LFD", "reuse_pct")
+
+    # Paper shape: LRU clearly worst; window monotone; LFD optimal;
+    # Local LFD(4) within a point of LFD.
+    assert lru < local1
+    assert local1 <= local2 + 1e-9 <= local4 + 2e-9
+    assert local4 <= lfd + 1e-9
+    assert lfd - local4 < 1.0
+
+    # Reuse grows with device size for every policy (paper Fig. 9a trend).
+    for label in sweep.policies():
+        series = sweep.series(label, "reuse_pct")
+        assert series[-1] >= series[0]
+
+    print("\n" + sweep.render_table("reuse_pct", "% reuse (paper Fig. 9a)"))

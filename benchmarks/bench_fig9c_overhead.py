@@ -1,0 +1,39 @@
+"""E-FIG9C — remaining reconfiguration overhead (%) vs number of RUs.
+
+Paper shape (500 apps): every policy's remaining overhead falls as RUs
+grow; LFD reaches the lowest average (≈7.2 %); Local LFD(w)+Skip
+averages land between LRU and LFD for w >= 2 at 5+ RUs.  The 4-RU cell is
+structure-sensitive (see EXPERIMENTS.md): the paper sees skips *reduce*
+overhead under extreme competition, our synthesized graphs see the
+literal Fig. 8 rule trade overhead for reuse there.
+"""
+
+from benchmarks.conftest import EVAL_RU_COUNTS
+from repro.experiments.fig9 import run_fig9c
+
+
+def test_fig9c_remaining_overhead(benchmark, eval_workload):
+    sweep = benchmark.pedantic(
+        run_fig9c, args=(eval_workload, EVAL_RU_COUNTS), rounds=1, iterations=1
+    )
+
+    lfd = sweep.average("LFD", "remaining_overhead_pct")
+    lru = sweep.average("LRU", "remaining_overhead_pct")
+    assert lfd < lru  # the oracle hides the most overhead on average
+
+    # Overheads fall with device size for every policy.
+    for label in sweep.policies():
+        series = sweep.series(label, "remaining_overhead_pct")
+        assert series[-1] <= series[0]
+
+    # At generous RU counts (the tail of the sweep), the skip variants sit
+    # at or below LRU, approaching LFD (the paper's near-optimal claim).
+    tail = EVAL_RU_COUNTS[-1]
+    assert (
+        sweep.cell("Local LFD (4) + Skip", tail).remaining_overhead_pct
+        <= sweep.cell("LRU", tail).remaining_overhead_pct
+    )
+
+    print("\n" + sweep.render_table(
+        "remaining_overhead_pct", "% remaining overhead (paper Fig. 9c)"
+    ))

@@ -1,0 +1,29 @@
+"""X-SENS — seed robustness of the Fig. 9b crossover.
+
+The paper evaluates one random sequence; this bench re-runs the skip-event
+comparison across independent seeds and asserts the headline crossover
+(Local LFD(1)+Skip > LFD in average reuse) is not an artifact of the draw.
+"""
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_crossover_across_seeds(benchmark):
+    report = benchmark.pedantic(
+        run_sensitivity,
+        kwargs={"seeds": (1, 2, 3), "length": 60, "ru_counts": (4, 6, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    by_label = report.by_label()
+    assert report.crossover_rate == 1.0
+    assert (
+        by_label["Local LFD (1) + Skip"].mean_reuse_pct
+        > by_label["LFD"].mean_reuse_pct
+    )
+    print(
+        f"\ncrossover in {report.crossover_rate:.0%} of seeds; "
+        f"Skip {by_label['Local LFD (1) + Skip'].mean_reuse_pct:.1f}% "
+        f"vs LFD {by_label['LFD'].mean_reuse_pct:.1f}% "
+        f"(std {by_label['Local LFD (1) + Skip'].std_reuse_pct:.1f})"
+    )

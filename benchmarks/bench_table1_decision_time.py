@@ -1,0 +1,65 @@
+"""E-TAB1 — worst-case run-time of one replacement decision.
+
+The paper's Table I relations, measured in Python:
+
+* LRU is the cheapest;
+* LFD is orders of magnitude above Local LFD (full-sequence scan);
+* Local LFD grows mildly with the DL window.
+
+pytest-benchmark times the *single-decision* callables directly, which is
+exactly the quantity Table I reports.
+"""
+
+import pytest
+
+from repro.core.policies.classic import LRUPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy
+from repro.core.replacement_module import PolicyAdvisor
+from repro.experiments.table1 import _reference_strings, run_table1, worst_case_context
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    window1, full = _reference_strings(sequence_length=500, dl_window=1)
+    window4, _ = _reference_strings(sequence_length=500, dl_window=4)
+    return {
+        "lru": worst_case_context(future_refs=(), oracle_refs=None),
+        "lfd": worst_case_context(future_refs=(), oracle_refs=full),
+        "local1": worst_case_context(future_refs=window1, oracle_refs=None),
+        "local4": worst_case_context(future_refs=window4, oracle_refs=None),
+    }
+
+
+def test_decision_lru(benchmark, contexts):
+    advisor = PolicyAdvisor(LRUPolicy())
+    benchmark(advisor.decide, contexts["lru"])
+
+
+def test_decision_lfd_full_scan(benchmark, contexts):
+    advisor = PolicyAdvisor(LFDPolicy())
+    benchmark(advisor.decide, contexts["lfd"])
+
+
+def test_decision_local_lfd_window1(benchmark, contexts):
+    advisor = PolicyAdvisor(LocalLFDPolicy(), skip_events=True)
+    benchmark(advisor.decide, contexts["local1"])
+
+
+def test_decision_local_lfd_window4(benchmark, contexts):
+    advisor = PolicyAdvisor(LocalLFDPolicy(), skip_events=True)
+    benchmark(advisor.decide, contexts["local4"])
+
+
+def test_table1_relations(benchmark):
+    rows = benchmark.pedantic(
+        run_table1,
+        kwargs={"sequence_length": 500, "calls": 500, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    by_label = {r.label: r.mean_decision_us for r in rows}
+    assert by_label["LRU"] == min(by_label.values())
+    assert by_label["LFD"] == max(by_label.values())
+    assert by_label["LFD"] / by_label["Local LFD (1) + Skip"] > 10
+    assert by_label["Local LFD (4) + Skip"] >= by_label["Local LFD (1) + Skip"]
+    print("\nTable I (us/decision):", {k: round(v, 2) for k, v in by_label.items()})

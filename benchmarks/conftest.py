@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure)
+and asserts its *shape* (who wins, by roughly what factor) while
+pytest-benchmark records the runtime cost of regenerating it.
+
+The figure benches default to a reduced workload (EVAL_LENGTH applications
+instead of the paper's 500, a subset of RU counts) so the whole suite
+stays interactive; run the CLI (``repro-experiments fig9a``) for the
+full-scale versions — the shapes are identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenarios import paper_evaluation_workload
+
+#: Workload length used by the figure benches (paper: 500).
+EVAL_LENGTH = 150
+
+#: RU sweep used by the figure benches (paper: 4..10).
+EVAL_RU_COUNTS = (4, 6, 8, 10)
+
+
+@pytest.fixture(scope="session")
+def eval_workload():
+    return paper_evaluation_workload(length=EVAL_LENGTH)

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+builds (which require ``bdist_wheel``) fail; this shim enables
+``pip install -e . --no-use-pep517``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

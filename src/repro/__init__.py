@@ -1,0 +1,134 @@
+"""repro — reproduction of "A Replacement Technique to Maximize Task Reuse
+in Reconfigurable Systems" (Clemente et al., 2011).
+
+Quickstart::
+
+    from repro import (
+        benchmark_suite, simulate, PolicyAdvisor, LocalLFDPolicy,
+        ManagerSemantics, MobilityCalculator, ms,
+    )
+
+    apps = benchmark_suite() * 3                    # application sequence
+    semantics = ManagerSemantics(lookahead_apps=2)  # Local LFD (2)
+    mobility = MobilityCalculator(n_rus=4, reconfig_latency=ms(4)).compute_tables(apps)
+    result = simulate(
+        apps, n_rus=4, reconfig_latency=ms(4),
+        advisor=PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
+        semantics=semantics, mobility_tables=mobility,
+    )
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.exceptions import (
+    CycleError,
+    DuplicateTaskError,
+    ExperimentError,
+    GraphError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TraceInvariantError,
+    UnknownTaskError,
+    WorkloadError,
+)
+from repro.graphs import (
+    ConfigId,
+    TaskGraph,
+    TaskGraphBuilder,
+    TaskInstance,
+    TaskSpec,
+    benchmark_by_name,
+    benchmark_suite,
+    chain_graph,
+    fork_join_graph,
+    hough_transform,
+    jpeg_decoder,
+    mpeg1_encoder,
+)
+from repro.sim import (
+    CrossAppPrefetch,
+    ExecutionManager,
+    ManagerSemantics,
+    PAPER_SEMANTICS,
+    SimulationResult,
+    Trace,
+    ideal_makespan,
+    ms,
+    render_gantt,
+    simulate,
+    validate_trace,
+)
+from repro.core import (
+    DynamicList,
+    FIFOPolicy,
+    LFDPolicy,
+    LRUPolicy,
+    LocalLFDPolicy,
+    MRUPolicy,
+    MobilityCalculator,
+    PolicyAdvisor,
+    PurelyRuntimeMobilityAdvisor,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_advisor,
+    make_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "CycleError",
+    "DuplicateTaskError",
+    "ExperimentError",
+    "GraphError",
+    "PolicyError",
+    "ReproError",
+    "SimulationError",
+    "TraceInvariantError",
+    "UnknownTaskError",
+    "WorkloadError",
+    # graphs
+    "ConfigId",
+    "TaskGraph",
+    "TaskGraphBuilder",
+    "TaskInstance",
+    "TaskSpec",
+    "benchmark_by_name",
+    "benchmark_suite",
+    "chain_graph",
+    "fork_join_graph",
+    "hough_transform",
+    "jpeg_decoder",
+    "mpeg1_encoder",
+    # sim
+    "CrossAppPrefetch",
+    "ExecutionManager",
+    "ManagerSemantics",
+    "PAPER_SEMANTICS",
+    "SimulationResult",
+    "Trace",
+    "ideal_makespan",
+    "ms",
+    "render_gantt",
+    "simulate",
+    "validate_trace",
+    # core
+    "DynamicList",
+    "FIFOPolicy",
+    "LFDPolicy",
+    "LRUPolicy",
+    "LocalLFDPolicy",
+    "MRUPolicy",
+    "MobilityCalculator",
+    "PolicyAdvisor",
+    "PurelyRuntimeMobilityAdvisor",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_advisor",
+    "make_policy",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``repro-experiments`` / ``python -m repro``.
+
+Regenerates any paper artifact from the terminal::
+
+    repro-experiments fig2
+    repro-experiments fig9a --length 500
+    repro-experiments table1
+    repro-experiments all --length 200 --no-ablation
+
+Every command prints the same rows/series the paper reports, with the
+paper's values alongside for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ablation as ablation_mod
+from repro.experiments import fig9, hybrid_speedup, motivational, report, table1, table2
+from repro.workloads.scenarios import (
+    PAPER_SEQUENCE_LENGTH,
+    available_scenarios,
+    make_scenario,
+)
+
+COMMANDS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "table1",
+    "table2",
+    "hybrid",
+    "ablation",
+    "sensitivity",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'A Replacement Technique "
+            "to Maximize Task Reuse in Reconfigurable Systems' (2011)."
+        ),
+    )
+    parser.add_argument("command", choices=COMMANDS, help="artifact to regenerate")
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=PAPER_SEQUENCE_LENGTH,
+        help="number of applications in the evaluation sequence (default: 500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: paper seed)"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default="paper-eval",
+        help="workload scenario for fig9*/ablation (default: paper-eval)",
+    )
+    parser.add_argument(
+        "--rus",
+        type=int,
+        nargs="+",
+        default=list(fig9.PAPER_RU_COUNTS),
+        help="RU counts to sweep (default: 4..10)",
+    )
+    parser.add_argument(
+        "--no-ablation",
+        action="store_true",
+        help="skip the ablation section of the 'all' report",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="skip the timing section of the 'all' report",
+    )
+    parser.add_argument(
+        "--export-csv",
+        metavar="PATH",
+        default=None,
+        help="also write the fig9a/fig9b/fig9c sweep as CSV to PATH",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3, 4, 5],
+        help="seeds for the sensitivity command",
+    )
+    return parser
+
+
+def _workload(args: argparse.Namespace):
+    kwargs = {"length": args.length}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.scenario == "round-robin":
+        kwargs.pop("seed", None)
+    return make_scenario(args.scenario, **kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "fig1":
+        from repro.core.dynamic_list import replay_fig1
+
+        for i, snapshot in enumerate(replay_fig1()):
+            print(f"Fig. 1({chr(ord('a') + i)}): DL = {snapshot}")
+        return 0
+    if command == "fig2":
+        print(motivational.render_fig2_report())
+        return 0
+    if command == "fig3":
+        print(motivational.render_fig3_report())
+        return 0
+    if command == "fig7":
+        print(motivational.render_fig7_report())
+        return 0
+    if command in ("fig9a", "fig9b", "fig9c"):
+        runner = {"fig9a": fig9.run_fig9a, "fig9b": fig9.run_fig9b, "fig9c": fig9.run_fig9c}[command]
+        renderer = {
+            "fig9a": fig9.render_fig9a,
+            "fig9b": fig9.render_fig9b,
+            "fig9c": fig9.render_fig9c,
+        }[command]
+        sweep = runner(_workload(args), tuple(args.rus))
+        print(renderer(sweep))
+        if args.export_csv:
+            from repro.experiments.export import save_text, sweep_to_csv
+
+            save_text(sweep_to_csv(sweep), args.export_csv)
+            print(f"(CSV written to {args.export_csv})")
+        return 0
+    if command == "table1":
+        print(table1.render_table1())
+        return 0
+    if command == "table2":
+        print(table2.render_table2())
+        return 0
+    if command == "hybrid":
+        print(hybrid_speedup.render_hybrid_speedup())
+        return 0
+    if command == "ablation":
+        print(ablation_mod.render_all_ablations())
+        return 0
+    if command == "sensitivity":
+        from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+
+        report = run_sensitivity(
+            seeds=tuple(args.seeds),
+            length=min(args.length, 150),
+            ru_counts=tuple(args.rus) if args.rus else (4, 6, 8, 10),
+        )
+        print(render_sensitivity(report))
+        return 0
+    if command == "all":
+        print(
+            report.run_full_report(
+                workload=_workload(args),
+                ru_counts=tuple(args.rus),
+                include_ablation=not args.no_ablation,
+                include_timing=not args.no_timing,
+            )
+        )
+        return 0
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

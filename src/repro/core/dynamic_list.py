@@ -1,0 +1,105 @@
+"""The Dynamic List (DL) of enqueued applications (paper §II, Fig. 1).
+
+The scheduler keeps "a sorted list of enqueued applications that have to
+be executed next", updated dynamically: completed applications are removed
+from the head and newly arrived ones are appended FIFO.  The complete
+future is never known — only the DL window is.
+
+The execution manager embeds this logic through its ``lookahead_apps``
+semantics; this standalone model exists to (a) reproduce the paper's
+Fig. 1 walk-through as an example/test, and (b) drive workload arrival
+scripts for the dynamic-arrival ablation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graphs.task_graph import TaskGraph
+
+
+@dataclass
+class DynamicList:
+    """FIFO queue of applications awaiting execution.
+
+    >>> dl = DynamicList.from_names(["JPEG", "MPEG1", "HOUGH"])
+    >>> dl.head()
+    'JPEG'
+    >>> dl.complete_head(arrivals=["MPEG1", "MPEG1"])   # Fig. 1 (a)->(b)
+    'JPEG'
+    >>> dl.snapshot()
+    ['MPEG1', 'HOUGH', 'MPEG1', 'MPEG1']
+    """
+
+    _queue: Deque[str] = field(default_factory=deque)
+    #: History of every (completed_app, snapshot_after) transition.
+    history: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "DynamicList":
+        dl = cls()
+        for name in names:
+            dl.enqueue(name)
+        return dl
+
+    def enqueue(self, name: str) -> None:
+        """Append a newly arrived application (FIFO policy)."""
+        if not name:
+            raise WorkloadError("application name must be non-empty")
+        self._queue.append(name)
+
+    def head(self) -> Optional[str]:
+        """The application currently executing (DL head), or ``None``."""
+        return self._queue[0] if self._queue else None
+
+    def window(self, size: int) -> List[str]:
+        """The next ``size`` applications *after* the head.
+
+        This is the future a Local LFD (``size``) policy can see.
+        """
+        if size < 0:
+            raise WorkloadError(f"window size must be >= 0, got {size}")
+        return list(self._queue)[1 : 1 + size]
+
+    def complete_head(self, arrivals: Iterable[str] = ()) -> str:
+        """Finish the head application; enqueue ``arrivals`` (Fig. 1 step).
+
+        The paper assumes "DL is updated only at the end of the execution
+        of the applications" — arrivals land exactly at completion points.
+        Returns the completed application's name.
+        """
+        if not self._queue:
+            raise WorkloadError("cannot complete: Dynamic List is empty")
+        done = self._queue.popleft()
+        for name in arrivals:
+            self.enqueue(name)
+        self.history.append((done, tuple(self._queue)))
+        return done
+
+    def snapshot(self) -> List[str]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+def replay_fig1() -> List[List[str]]:
+    """Replay the paper's Fig. 1 walk-through; returns DL snapshots.
+
+    (a) DL = [JPEG, MPEG1, HOUGH]; JPEG finishes while two new MPEG1
+    instances arrive -> (b) DL = [MPEG1, HOUGH, MPEG1, MPEG1]; the first
+    MPEG1 finishes with no arrivals -> (c) DL = [HOUGH, MPEG1, MPEG1].
+    """
+    dl = DynamicList.from_names(["JPEG", "MPEG1", "HOUGH"])
+    snapshots = [dl.snapshot()]
+    dl.complete_head(arrivals=["MPEG1", "MPEG1"])
+    snapshots.append(dl.snapshot())
+    dl.complete_head()
+    snapshots.append(dl.snapshot())
+    return snapshots

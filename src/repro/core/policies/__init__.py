@@ -1,0 +1,27 @@
+"""Replacement policies: baselines (LRU/MRU/FIFO/RANDOM), the clairvoyant
+LFD bound, and the paper's Local LFD."""
+
+from repro.core.policies.base import ReplacementPolicy, argbest, forward_distance
+from repro.core.policies.classic import FIFOPolicy, LRUPolicy, MRUPolicy, RandomPolicy
+from repro.core.policies.extended import ClockPolicy, LFUPolicy, LRUKPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy, local_lfd_name
+from repro.core.policies.registry import available_policies, make_policy, register_policy
+
+__all__ = [
+    "ReplacementPolicy",
+    "argbest",
+    "forward_distance",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "RandomPolicy",
+    "ClockPolicy",
+    "LFUPolicy",
+    "LRUKPolicy",
+    "LFDPolicy",
+    "LocalLFDPolicy",
+    "local_lfd_name",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,67 @@
+"""Classic history-based replacement policies: LRU, MRU, FIFO, RANDOM.
+
+These are the run-time cache-replacement adaptations the paper compares
+against (§III, refs [6, 15, 16]): they need no knowledge of the future.
+LRU is the paper's main baseline; MRU/FIFO/RANDOM are standard extras we
+include for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies.base import ReplacementPolicy, argbest
+from repro.sim.interface import DecisionContext
+from repro.util.rng import SeedLike, make_rng
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least Recently Used.
+
+    Evicts the candidate whose configuration was *touched* (finished
+    loading or finished executing) longest ago.  This is the paper's LRU
+    baseline: cheap, but blind to the Dynamic List, so it happily evicts
+    configurations that are about to be reused.
+    """
+
+    name = "LRU"
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        return argbest(ctx.candidates, key=lambda v: v.last_use, prefer_max=False).index
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Most Recently Used — pathological for looping workloads, included
+    as an adversarial baseline for the ablation study."""
+
+    name = "MRU"
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        return argbest(ctx.candidates, key=lambda v: v.last_use, prefer_max=True).index
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-In First-Out: evicts the configuration loaded longest ago,
+    regardless of how recently it was used."""
+
+    name = "FIFO"
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        return argbest(ctx.candidates, key=lambda v: v.load_end, prefer_max=False).index
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (seeded, deterministic across runs)."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        i = int(self._rng.integers(0, len(ctx.candidates)))
+        return ctx.candidates[i].index
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)

@@ -1,0 +1,150 @@
+"""Stateful cache-replacement policies from the literature the paper
+surveys (§III refs [6, 15, 16]): LFU, LRU-K and CLOCK (second chance).
+
+The paper's point is that history-based policies — however sophisticated —
+cannot exploit the Dynamic-List future knowledge; these implementations
+make that comparison concrete in the ablation experiments.  All state is
+keyed by configuration (not RU), mirrors what a configuration-cache
+controller could actually track, and is reset between runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Optional
+
+from repro.core.policies.base import ReplacementPolicy, argbest
+from repro.graphs.task import ConfigId
+from repro.sim.interface import DecisionContext
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least Frequently Used.
+
+    Evicts the candidate whose configuration has been *used* (execution
+    completed) the fewest times since it first entered the device.  Ties
+    break on least-recent use, then lowest RU index — the standard
+    LFU-with-LRU-tiebreak variant.
+
+    Known pathology (visible in the ablations): configurations that were
+    popular early build up counts and become sticky even after the
+    workload mix shifts — the aging problem classic LFU suffers from.
+    """
+
+    name = "LFU"
+
+    def __init__(self) -> None:
+        self._uses: Dict[ConfigId, int] = defaultdict(int)
+
+    def on_execution_end(self, ru_index: int, config: ConfigId, now: int) -> None:
+        self._uses[config] += 1
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        return argbest(
+            ctx.candidates,
+            key=lambda v: (self._uses.get(v.config, 0), v.last_use),
+            prefer_max=False,
+        ).index
+
+    def reset(self) -> None:
+        self._uses.clear()
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K (O'Neil et al.): evict the configuration whose K-th most
+    recent use lies farthest in the past.
+
+    With ``k=1`` this degenerates to plain LRU; ``k=2`` (the default) is
+    the classic variant that filters one-off accesses: a configuration
+    used only once has no 2nd-most-recent use and is evicted before any
+    twice-used one.
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"LRU-{k}"
+        self._history: Dict[ConfigId, Deque[int]] = {}
+
+    def _touch(self, config: ConfigId, now: int) -> None:
+        hist = self._history.setdefault(config, deque(maxlen=self.k))
+        hist.append(now)
+
+    def on_execution_end(self, ru_index: int, config: ConfigId, now: int) -> None:
+        self._touch(config, now)
+
+    def on_load_complete(self, ru_index: int, config: ConfigId, now: int) -> None:
+        # A fresh load counts as the first access of the new residency.
+        self._touch(config, now)
+
+    def _kth_recency(self, config: Optional[ConfigId]) -> int:
+        """Time of the K-th most recent access; -1 when fewer than K."""
+        if config is None:
+            return -1
+        hist = self._history.get(config)
+        if hist is None or len(hist) < self.k:
+            return -1
+        return hist[0]  # deque(maxlen=k): leftmost == K-th most recent
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        return argbest(
+            ctx.candidates,
+            key=lambda v: (self._kth_recency(v.config), v.last_use),
+            prefer_max=False,
+        ).index
+
+    def reset(self) -> None:
+        self._history.clear()
+
+
+class ClockPolicy(ReplacementPolicy):
+    """CLOCK / second chance.
+
+    Each resident configuration has a reference bit, set on every use.
+    The hand sweeps the candidate set in RU order from its last position:
+    a set bit buys the configuration a second chance (bit cleared, hand
+    advances); the first candidate with a clear bit is evicted.  This is
+    the classic one-bit LRU approximation used by configuration-cache
+    controllers that cannot afford timestamps.
+    """
+
+    name = "CLOCK"
+
+    def __init__(self) -> None:
+        self._referenced: Dict[ConfigId, bool] = {}
+        self._hand = 0
+
+    def on_execution_end(self, ru_index: int, config: ConfigId, now: int) -> None:
+        self._referenced[config] = True
+
+    def on_reuse(self, ru_index: int, config: ConfigId, now: int) -> None:
+        self._referenced[config] = True
+
+    def on_load_complete(self, ru_index: int, config: ConfigId, now: int) -> None:
+        self._referenced[config] = True
+
+    def select_victim(self, ctx: DecisionContext) -> int:
+        candidates = sorted(ctx.candidates, key=lambda v: v.index)
+        # Start the sweep at the hand position (wrapping by RU index).
+        ordered = [v for v in candidates if v.index >= self._hand] + [
+            v for v in candidates if v.index < self._hand
+        ]
+        # Two sweeps guarantee a victim: the first clears bits.
+        for _ in range(2):
+            for view in ordered:
+                if view.config is None:
+                    continue
+                if self._referenced.get(view.config, False):
+                    self._referenced[view.config] = False
+                else:
+                    self._hand = view.index + 1
+                    return view.index
+        # Every candidate had its bit set twice in a row (cannot happen
+        # after the clearing sweep, but keep a deterministic fallback).
+        self._hand = ordered[0].index + 1  # pragma: no cover - defensive
+        return ordered[0].index  # pragma: no cover - defensive
+
+    def reset(self) -> None:
+        self._referenced.clear()
+        self._hand = 0

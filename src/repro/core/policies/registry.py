@@ -1,0 +1,47 @@
+"""Name-based policy registry for the CLI and experiment configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.policies.base import ReplacementPolicy
+from repro.core.policies.classic import FIFOPolicy, LRUPolicy, MRUPolicy, RandomPolicy
+from repro.core.policies.extended import ClockPolicy, LFUPolicy, LRUKPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy
+from repro.exceptions import PolicyError
+
+_FACTORIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "lfu": LFUPolicy,
+    "lru-2": LRUKPolicy,
+    "clock": ClockPolicy,
+    "lfd": LFDPolicy,
+    "local-lfd": LocalLFDPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Sorted registry keys."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by registry name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+
+
+def register_policy(name: str, factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register a custom policy factory (extension point)."""
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        raise PolicyError(f"policy {name!r} already registered")
+    _FACTORIES[key] = factory

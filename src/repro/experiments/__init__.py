@@ -1,0 +1,59 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+* :mod:`~repro.experiments.motivational` — Figs. 2, 3, 7 (exact targets)
+* :mod:`~repro.experiments.fig9` — Figs. 9a/9b/9c (shape targets)
+* :mod:`~repro.experiments.table1` — Table I decision timing
+* :mod:`~repro.experiments.table2` — Table II module impact
+* :mod:`~repro.experiments.hybrid_speedup` — the ~10x hybrid claim
+* :mod:`~repro.experiments.ablation` — design-choice ablations
+* :mod:`~repro.experiments.calibration` — fixture-derivation evidence
+* :mod:`~repro.experiments.report` — everything in one text report
+"""
+
+from repro.experiments.motivational import (
+    run_fig2,
+    run_fig3,
+    run_fig7,
+    render_fig2_report,
+    render_fig3_report,
+    render_fig7_report,
+)
+from repro.experiments.fig9 import (
+    PAPER_RU_COUNTS,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+    render_fig9a,
+    render_fig9b,
+    render_fig9c,
+)
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.hybrid_speedup import run_hybrid_speedup, render_hybrid_speedup
+from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
+from repro.experiments.report import run_full_report
+
+__all__ = [
+    "run_fig2",
+    "run_fig3",
+    "run_fig7",
+    "render_fig2_report",
+    "render_fig3_report",
+    "render_fig7_report",
+    "PAPER_RU_COUNTS",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig9c",
+    "render_fig9a",
+    "render_fig9b",
+    "render_fig9c",
+    "run_table1",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "run_hybrid_speedup",
+    "render_hybrid_speedup",
+    "run_sensitivity",
+    "render_sensitivity",
+    "run_full_report",
+]

@@ -1,0 +1,296 @@
+"""X-ABL — ablations of the design choices DESIGN.md calls out.
+
+Five studies, all on deterministic workloads:
+
+* **A1 — Dynamic-List window**: reuse/overhead vs window 0..8; shows the
+  diminishing returns past w=4 that justify the paper's small windows.
+* **A2 — cross-application prefetch semantics (S1)**: ISOLATED (paper
+  mode) vs FREE_RU_ONLY vs FULL.
+* **A3 — skip rule**: literal Fig. 8 vs the prospect refinement.
+* **A4 — policy zoo**: FIFO/MRU/RANDOM alongside the paper's policies.
+* **A5 — reconfiguration latency sweep**: how the Local LFD advantage
+  scales with the latency/exec-time ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mobility import MobilityCalculator
+from repro.core.policies.classic import FIFOPolicy, LRUPolicy, MRUPolicy, RandomPolicy
+from repro.core.policies.extended import ClockPolicy, LFUPolicy, LRUKPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy
+from repro.core.replacement_module import PolicyAdvisor
+from repro.workloads.arrival import (
+    bursty_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+    saturated_arrivals,
+)
+from repro.metrics.energy import reconfiguration_energy
+from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
+from repro.sim.simulator import SimulationResult, ideal_makespan, simulate
+from repro.util.tables import TextTable
+from repro.workloads.scenarios import paper_evaluation_workload
+from repro.workloads.sequence import Workload
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    label: str
+    reuse_pct: float
+    remaining_overhead_pct: float
+    overhead_ms: float
+    n_reconfigs: int
+    n_skips: int
+    energy_savings_pct: float
+
+
+def _row(label: str, result: SimulationResult, graphs) -> AblationRow:
+    energy = reconfiguration_energy(result.trace, graphs)
+    return AblationRow(
+        label=label,
+        reuse_pct=round(result.reuse_pct, 2),
+        remaining_overhead_pct=round(result.remaining_overhead_pct(), 2),
+        overhead_ms=round(result.overhead_us / 1000.0, 1),
+        n_reconfigs=result.trace.n_reconfigurations,
+        n_skips=result.trace.n_skips,
+        energy_savings_pct=round(energy.savings_pct(), 1),
+    )
+
+
+def run_window_sweep(
+    workload: Optional[Workload] = None,
+    windows: Sequence[int] = (0, 1, 2, 4, 8),
+) -> List[AblationRow]:
+    """A1: Local LFD reuse/overhead as the DL window grows."""
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    ideal = ideal_makespan(apps, workload.n_rus)
+    rows = []
+    for w in windows:
+        result = simulate(
+            apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PolicyAdvisor(LocalLFDPolicy()),
+            ManagerSemantics(lookahead_apps=w),
+            ideal_makespan_us=ideal,
+        )
+        rows.append(_row(f"Local LFD ({w})", result, apps))
+    lfd = simulate(
+        apps,
+        workload.n_rus,
+        workload.reconfig_latency,
+        PolicyAdvisor(LFDPolicy()),
+        ManagerSemantics(provide_oracle=True),
+        ideal_makespan_us=ideal,
+    )
+    rows.append(_row("LFD (oracle)", lfd, apps))
+    return rows
+
+
+def run_semantics_ablation(
+    workload: Optional[Workload] = None,
+) -> List[AblationRow]:
+    """A2: the S1 cross-application-prefetch knob under Local LFD (1)."""
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    ideal = ideal_makespan(apps, workload.n_rus)
+    rows = []
+    for mode in CrossAppPrefetch:
+        result = simulate(
+            apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PolicyAdvisor(LocalLFDPolicy()),
+            ManagerSemantics(lookahead_apps=1, cross_app_prefetch=mode),
+            ideal_makespan_us=ideal,
+        )
+        rows.append(_row(f"S1={mode.value}", result, apps))
+    return rows
+
+
+def run_skip_mode_ablation(
+    workload: Optional[Workload] = None,
+) -> List[AblationRow]:
+    """A3: literal Fig. 8 skips vs the prospect refinement."""
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    ideal = ideal_makespan(apps, workload.n_rus)
+    mobility = MobilityCalculator(
+        n_rus=workload.n_rus, reconfig_latency=workload.reconfig_latency
+    ).compute_tables(workload.distinct_graphs())
+    rows = []
+    rows.append(
+        _row(
+            "no skips (ASAP)",
+            simulate(
+                apps,
+                workload.n_rus,
+                workload.reconfig_latency,
+                PolicyAdvisor(LocalLFDPolicy()),
+                ManagerSemantics(lookahead_apps=1),
+                ideal_makespan_us=ideal,
+            ),
+            apps,
+        )
+    )
+    for mode in ("literal", "prospect"):
+        result = simulate(
+            apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PolicyAdvisor(LocalLFDPolicy(), skip_events=True, skip_mode=mode),
+            ManagerSemantics(lookahead_apps=1),
+            mobility_tables=mobility,
+            ideal_makespan_us=ideal,
+        )
+        rows.append(_row(f"skip mode: {mode}", result, apps))
+    return rows
+
+
+def run_policy_zoo(
+    workload: Optional[Workload] = None,
+) -> List[AblationRow]:
+    """A4: every registered policy on the same workload."""
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    ideal = ideal_makespan(apps, workload.n_rus)
+    rows = []
+    zoo = [
+        ("RANDOM", PolicyAdvisor(RandomPolicy(seed=7)), ManagerSemantics()),
+        ("MRU", PolicyAdvisor(MRUPolicy()), ManagerSemantics()),
+        ("FIFO", PolicyAdvisor(FIFOPolicy()), ManagerSemantics()),
+        ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics()),
+        ("LFU", PolicyAdvisor(LFUPolicy()), ManagerSemantics()),
+        ("LRU-2", PolicyAdvisor(LRUKPolicy(k=2)), ManagerSemantics()),
+        ("CLOCK", PolicyAdvisor(ClockPolicy()), ManagerSemantics()),
+        (
+            "Local LFD (1)",
+            PolicyAdvisor(LocalLFDPolicy()),
+            ManagerSemantics(lookahead_apps=1),
+        ),
+        (
+            "LFD",
+            PolicyAdvisor(LFDPolicy()),
+            ManagerSemantics(provide_oracle=True),
+        ),
+    ]
+    for label, advisor, semantics in zoo:
+        result = simulate(
+            apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            advisor,
+            semantics,
+            ideal_makespan_us=ideal,
+        )
+        rows.append(_row(label, result, apps))
+    return rows
+
+
+def run_latency_sweep(
+    workload: Optional[Workload] = None,
+    latencies_us: Sequence[int] = (1000, 2000, 4000, 8000, 16000),
+) -> List[AblationRow]:
+    """A5: Local LFD(1) vs LRU gap as reconfiguration latency grows."""
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    rows = []
+    for latency in latencies_us:
+        ideal = ideal_makespan(apps, workload.n_rus)
+        for label, advisor, semantics in (
+            ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics()),
+            (
+                "Local LFD (1)",
+                PolicyAdvisor(LocalLFDPolicy()),
+                ManagerSemantics(lookahead_apps=1),
+            ),
+        ):
+            result = simulate(
+                apps, workload.n_rus, latency, advisor, semantics, ideal_makespan_us=ideal
+            )
+            rows.append(
+                _row(f"{label} @ {latency // 1000}ms latency", result, apps)
+            )
+    return rows
+
+
+def run_arrival_ablation(
+    workload: Optional[Workload] = None,
+) -> List[AblationRow]:
+    """A6: dynamic arrivals — how late knowledge degrades Local LFD.
+
+    Compares the saturated queue of the paper's evaluation against
+    periodic, Poisson and bursty open-system arrivals.  Late arrivals
+    shrink the effective Dynamic List (an application not yet enqueued is
+    invisible), so reuse degrades towards the window-0 level as the
+    system becomes less loaded.
+    """
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    apps = list(workload.apps)
+    n = len(apps)
+    # Mean service time per application ~ critical path; pace arrivals
+    # around it so the queue alternates between backlog and idle.
+    mean_cp = sum(g.critical_path_length() for g in apps) // n
+    models = [
+        ("saturated (paper mode)", saturated_arrivals(n)),
+        ("periodic @ 1.0x service", periodic_arrivals(n, mean_cp)),
+        # Slower than service: the queue often drains, the Dynamic List is
+        # frequently empty and Local LFD loses its future knowledge.
+        ("periodic @ 1.5x service", periodic_arrivals(n, mean_cp * 3 // 2)),
+        ("poisson @ 1.5x service", poisson_arrivals(n, mean_cp * 1.5, seed=5)),
+        ("bursty (5 @ 5x gaps)", bursty_arrivals(n, 5, 5 * mean_cp, seed=5)),
+    ]
+    rows = []
+    for label, arrivals in models:
+        # The zero-latency ideal must honour the same arrival times,
+        # otherwise idle waiting would be misread as reconfiguration
+        # overhead.
+        from repro.sim.manager import ExecutionManager
+        from repro.sim.simulator import _FirstCandidateAdvisor
+
+        ideal = ExecutionManager(
+            graphs=apps,
+            n_rus=workload.n_rus,
+            reconfig_latency=0,
+            advisor=_FirstCandidateAdvisor(),
+            arrival_times=arrivals,
+        ).run().makespan
+        result = simulate(
+            apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PolicyAdvisor(LocalLFDPolicy()),
+            ManagerSemantics(lookahead_apps=2),
+            arrival_times=arrivals,
+            ideal_makespan_us=ideal,
+        )
+        rows.append(_row(label, result, apps))
+    return rows
+
+
+def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
+    table = TextTable(
+        ["configuration", "reuse %", "remaining ovh %", "overhead ms", "reconfigs", "skips", "energy saved %"],
+        title=title,
+    )
+    for r in rows:
+        table.add_row(
+            [r.label, r.reuse_pct, r.remaining_overhead_pct, r.overhead_ms, r.n_reconfigs, r.n_skips, r.energy_savings_pct]
+        )
+    return table.render()
+
+
+def render_all_ablations(workload: Optional[Workload] = None) -> str:
+    sections = [
+        render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload)),
+        render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload)),
+        render_ablation_rows("A3 — skip rule", run_skip_mode_ablation(workload)),
+        render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload)),
+        render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload)),
+        render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload)),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,96 @@
+"""CSV / JSON export of experiment results.
+
+Experiment outputs (sweeps, ablation rows, sensitivity reports) can be
+exported for plotting with external tools; the formats are flat and
+columnar so pandas/gnuplot/spreadsheets ingest them directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Iterable, List, Sequence
+
+from repro.metrics.summary import PolicyRunRecord, SweepResult
+
+#: Exported columns of one sweep cell, in order.
+SWEEP_COLUMNS = (
+    "policy_label",
+    "n_rus",
+    "reuse_pct",
+    "remaining_overhead_pct",
+    "overhead_ms",
+    "makespan_ms",
+    "ideal_makespan_ms",
+    "n_reconfigurations",
+    "n_reuses",
+    "n_skips",
+)
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Render a :class:`SweepResult` as CSV text (header + one row/cell)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(SWEEP_COLUMNS)
+    for record in sweep.records:
+        writer.writerow([getattr(record, col) for col in SWEEP_COLUMNS])
+    return buffer.getvalue()
+
+
+def sweep_from_csv(text: str) -> List[PolicyRunRecord]:
+    """Parse CSV produced by :func:`sweep_to_csv` back into records."""
+    reader = csv.DictReader(io.StringIO(text))
+    records = []
+    for row in reader:
+        records.append(
+            PolicyRunRecord(
+                policy_label=row["policy_label"],
+                n_rus=int(row["n_rus"]),
+                reuse_pct=float(row["reuse_pct"]),
+                remaining_overhead_pct=float(row["remaining_overhead_pct"]),
+                overhead_ms=float(row["overhead_ms"]),
+                makespan_ms=float(row["makespan_ms"]),
+                ideal_makespan_ms=float(row["ideal_makespan_ms"]),
+                n_reconfigurations=int(row["n_reconfigurations"]),
+                n_reuses=int(row["n_reuses"]),
+                n_skips=int(row["n_skips"]),
+            )
+        )
+    return records
+
+
+def sweep_to_json(sweep: SweepResult, indent: int = 2) -> str:
+    """Render a sweep (title, RU counts and all cells) as JSON."""
+    payload = {
+        "title": sweep.title,
+        "ru_counts": list(sweep.ru_counts),
+        "records": [asdict(record) for record in sweep.records],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Sequence[object]) -> str:
+    """Generic dataclass-rows → CSV (used by the ablation exports)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    first = rows[0]
+    if not is_dataclass(first):
+        raise TypeError(f"rows_to_csv expects dataclass rows, got {type(first)!r}")
+    columns = list(asdict(first).keys())
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        data = asdict(row)
+        writer.writerow([data[col] for col in columns])
+    return buffer.getvalue()
+
+
+def save_text(text: str, path: str) -> None:
+    """Write any exported text to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,65 @@
+"""Full experiment report: regenerate every table and figure in one call.
+
+:func:`run_full_report` produces the text document that EXPERIMENTS.md is
+derived from — paper values side-by-side with measured values for every
+artifact (Figs. 2/3/7/9a/9b/9c, Tables I/II, the hybrid speed-up and the
+ablations).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.experiments import ablation, fig9, hybrid_speedup, motivational, table1, table2
+from repro.workloads.scenarios import paper_evaluation_workload
+from repro.workloads.sequence import Workload
+
+
+def run_full_report(
+    workload: Optional[Workload] = None,
+    ru_counts=fig9.PAPER_RU_COUNTS,
+    include_ablation: bool = True,
+    include_timing: bool = True,
+) -> str:
+    """Regenerate every experiment; returns the composite text report.
+
+    ``workload`` defaults to the paper's 500-application evaluation
+    sequence; pass a shorter one for smoke runs.
+    """
+    workload = workload or paper_evaluation_workload()
+    sections: List[str] = []
+    t0 = time.perf_counter()
+
+    sections.append("=" * 72)
+    sections.append("MOTIVATIONAL EXAMPLES (exact reproduction targets)")
+    sections.append("=" * 72)
+    sections.append(motivational.render_fig2_report())
+    sections.append(motivational.render_fig3_report())
+    sections.append(motivational.render_fig7_report())
+
+    sections.append("=" * 72)
+    sections.append(f"MAIN EVALUATION — workload {workload.name!r} "
+                    f"({workload.n_apps} applications, latency "
+                    f"{workload.reconfig_latency // 1000} ms)")
+    sections.append("=" * 72)
+    sections.append(fig9.render_fig9a(fig9.run_fig9a(workload, ru_counts)))
+    sections.append(fig9.render_fig9b(fig9.run_fig9b(workload, ru_counts)))
+    sections.append(fig9.render_fig9c(fig9.run_fig9c(workload, ru_counts)))
+
+    if include_timing:
+        sections.append("=" * 72)
+        sections.append("RUN-TIME COST OF THE REPLACEMENT MODULE")
+        sections.append("=" * 72)
+        sections.append(table1.render_table1())
+        sections.append(table2.render_table2())
+        sections.append(hybrid_speedup.render_hybrid_speedup())
+
+    if include_ablation:
+        sections.append("=" * 72)
+        sections.append("ABLATIONS")
+        sections.append("=" * 72)
+        sections.append(ablation.render_all_ablations())
+
+    sections.append(f"\n(total report time: {time.perf_counter() - t0:.1f} s)")
+    return "\n\n".join(sections)

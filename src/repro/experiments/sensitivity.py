@@ -1,0 +1,107 @@
+"""Seed-sensitivity analysis of the main evaluation (robustness study).
+
+The paper evaluates one random 500-application sequence.  A reproduction
+should show its conclusions do not hinge on that draw: this experiment
+re-runs the Fig. 9 comparison over several independent seeds and reports
+mean ± std of each policy's average reuse, plus how often each qualitative
+claim holds across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.fig9 import (
+    PolicySpec,
+    fig9b_specs,
+    run_policy_sweep,
+)
+from repro.util.tables import TextTable
+from repro.workloads.scenarios import paper_evaluation_workload
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Cross-seed statistics of one policy's average reuse rate."""
+
+    policy_label: str
+    mean_reuse_pct: float
+    std_reuse_pct: float
+    per_seed: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    seeds: Tuple[int, ...]
+    ru_counts: Tuple[int, ...]
+    results: Tuple[SensitivityResult, ...]
+    #: Fraction of seeds where Local LFD(1)+Skip beats LFD (paper's claim).
+    crossover_rate: float
+
+    def by_label(self) -> Dict[str, SensitivityResult]:
+        return {r.policy_label: r for r in self.results}
+
+
+def run_sensitivity(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    length: int = 150,
+    ru_counts: Sequence[int] = (4, 6, 8, 10),
+    specs: Optional[List[PolicySpec]] = None,
+) -> SensitivityReport:
+    """Run the Fig. 9b comparison across ``seeds``."""
+    specs = specs if specs is not None else fig9b_specs()
+    per_policy: Dict[str, List[float]] = {s.label: [] for s in specs}
+    crossovers = 0
+    for seed in seeds:
+        workload = paper_evaluation_workload(length=length, seed=seed)
+        sweep = run_policy_sweep(specs, f"seed {seed}", workload, ru_counts)
+        for spec in specs:
+            per_policy[spec.label].append(sweep.average(spec.label, "reuse_pct"))
+        skip_label = next(
+            (s.label for s in specs if s.skip_events), None
+        )
+        if skip_label is not None and "LFD" in per_policy:
+            if per_policy[skip_label][-1] > per_policy["LFD"][-1]:
+                crossovers += 1
+    results = tuple(
+        SensitivityResult(
+            policy_label=label,
+            mean_reuse_pct=float(np.mean(values)),
+            std_reuse_pct=float(np.std(values)),
+            per_seed=tuple(round(v, 2) for v in values),
+        )
+        for label, values in per_policy.items()
+    )
+    return SensitivityReport(
+        seeds=tuple(seeds),
+        ru_counts=tuple(ru_counts),
+        results=results,
+        crossover_rate=crossovers / len(seeds) if seeds else 0.0,
+    )
+
+
+def render_sensitivity(report: Optional[SensitivityReport] = None) -> str:
+    report = report if report is not None else run_sensitivity()
+    table = TextTable(
+        ["policy", "mean reuse %", "std", "per-seed"],
+        title=(
+            f"Seed sensitivity — {len(report.seeds)} seeds, "
+            f"RUs {list(report.ru_counts)}"
+        ),
+    )
+    for result in report.results:
+        table.add_row(
+            [
+                result.policy_label,
+                f"{result.mean_reuse_pct:.2f}",
+                f"{result.std_reuse_pct:.2f}",
+                str(list(result.per_seed)),
+            ]
+        )
+    return (
+        table.render()
+        + f"\nLocal LFD + Skip beats LFD in {report.crossover_rate:.0%} of seeds"
+    )

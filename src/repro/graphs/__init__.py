@@ -1,0 +1,84 @@
+"""Task-graph substrate: the paper's application model.
+
+Public surface:
+
+* :class:`~repro.graphs.task.TaskSpec`, :class:`~repro.graphs.task.ConfigId`,
+  :class:`~repro.graphs.task.TaskInstance` — task and configuration identity;
+* :class:`~repro.graphs.task_graph.TaskGraph` — immutable validated DAG;
+* builders (:mod:`repro.graphs.builders`) for common shapes;
+* the paper's multimedia benchmarks (:mod:`repro.graphs.multimedia`);
+* random generators (:mod:`repro.graphs.random_graphs`);
+* analysis and JSON serialization helpers.
+"""
+
+from repro.graphs.task import ConfigId, TaskInstance, TaskSpec
+from repro.graphs.task_graph import TaskGraph, validate_same_shape
+from repro.graphs.builders import (
+    TaskGraphBuilder,
+    chain_graph,
+    diamond_graph,
+    fork_graph,
+    fork_join_graph,
+    independent_tasks_graph,
+    join_graph,
+    layered_graph,
+)
+from repro.graphs.analysis import GraphStats, analyze, critical_path_nodes, level_map
+from repro.graphs.multimedia import (
+    DEFAULT_RECONFIG_LATENCY_US,
+    PAPER_INITIAL_EXEC_MS,
+    benchmark_by_name,
+    benchmark_suite,
+    hough_transform,
+    jpeg_decoder,
+    mpeg1_encoder,
+)
+from repro.graphs.random_graphs import (
+    random_benchmark_like_suite,
+    random_erdos_dag,
+    random_layered_graph,
+)
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graphs,
+    save_graphs,
+)
+
+__all__ = [
+    "ConfigId",
+    "TaskInstance",
+    "TaskSpec",
+    "TaskGraph",
+    "validate_same_shape",
+    "TaskGraphBuilder",
+    "chain_graph",
+    "diamond_graph",
+    "fork_graph",
+    "fork_join_graph",
+    "independent_tasks_graph",
+    "join_graph",
+    "layered_graph",
+    "GraphStats",
+    "analyze",
+    "critical_path_nodes",
+    "level_map",
+    "DEFAULT_RECONFIG_LATENCY_US",
+    "PAPER_INITIAL_EXEC_MS",
+    "benchmark_by_name",
+    "benchmark_suite",
+    "hough_transform",
+    "jpeg_decoder",
+    "mpeg1_encoder",
+    "random_benchmark_like_suite",
+    "random_erdos_dag",
+    "random_layered_graph",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "load_graphs",
+    "save_graphs",
+]

@@ -1,0 +1,126 @@
+"""Structural analysis helpers for task graphs.
+
+These are used by the workload generators (to report workload pressure),
+by DESIGN/EXPERIMENTS reporting, and by tests that check invariants of the
+random-graph generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs.task_graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one task graph."""
+
+    name: str
+    n_tasks: int
+    n_edges: int
+    depth: int                  # longest path length in edges
+    max_width: int              # max number of tasks sharing an ASAP level
+    critical_path_us: int       # zero-latency makespan
+    total_exec_us: int          # sum of exec times
+    parallelism: float          # total_exec / critical_path (avg parallelism)
+
+    def as_row(self) -> Tuple[object, ...]:
+        return (
+            self.name,
+            self.n_tasks,
+            self.n_edges,
+            self.depth,
+            self.max_width,
+            self.critical_path_us / 1000.0,
+            self.total_exec_us / 1000.0,
+            round(self.parallelism, 2),
+        )
+
+
+def analyze(graph: TaskGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    levels = level_map(graph)
+    width: Dict[int, int] = {}
+    for level in levels.values():
+        width[level] = width.get(level, 0) + 1
+    cp = graph.critical_path_length()
+    total = graph.total_exec_time()
+    return GraphStats(
+        name=graph.name,
+        n_tasks=len(graph),
+        n_edges=len(graph.edges),
+        depth=max(levels.values()) if levels else 0,
+        max_width=max(width.values()) if width else 0,
+        critical_path_us=cp,
+        total_exec_us=total,
+        parallelism=total / cp if cp else 0.0,
+    )
+
+
+def level_map(graph: TaskGraph) -> Dict[int, int]:
+    """Map node id -> depth level (longest edge-distance from a source)."""
+    levels: Dict[int, int] = {}
+    for nid in graph.topological_order():
+        preds = graph.predecessors(nid)
+        levels[nid] = max((levels[p] + 1 for p in preds), default=0)
+    return levels
+
+
+def critical_path_nodes(graph: TaskGraph) -> List[int]:
+    """Node ids of one longest (time-weighted) source-to-sink path."""
+    start = graph.asap_start_times()
+    # Finish time of the critical path:
+    end_of = {nid: start[nid] + graph.task(nid).exec_time for nid in graph.node_ids}
+    # Walk backwards from the task that finishes last.
+    current = max(graph.node_ids, key=lambda nid: (end_of[nid], -nid))
+    path = [current]
+    while graph.predecessors(current):
+        # The critical predecessor is the one whose finish equals our start.
+        preds = graph.predecessors(current)
+        current = max(preds, key=lambda p: (end_of[p], -p))
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def transitive_closure(graph: TaskGraph) -> Dict[int, frozenset]:
+    """Map node id -> frozenset of all (transitive) successors."""
+    closure: Dict[int, set] = {nid: set() for nid in graph.node_ids}
+    for nid in reversed(graph.topological_order()):
+        for succ in graph.successors(nid):
+            closure[nid].add(succ)
+            closure[nid] |= closure[succ]
+    return {nid: frozenset(s) for nid, s in closure.items()}
+
+
+def is_transitive_edge(graph: TaskGraph, pred: int, succ: int) -> bool:
+    """True if ``pred -> succ`` is implied by a longer path as well."""
+    closure = transitive_closure(graph)
+    for mid in graph.successors(pred):
+        if mid != succ and succ in closure[mid]:
+            return True
+    return False
+
+
+def max_concurrent_tasks(graph: TaskGraph) -> int:
+    """Upper bound on simultaneously-running tasks in the ideal schedule.
+
+    Counts overlapping execution intervals of the zero-latency ASAP
+    schedule; this is the minimum RU count at which the ideal schedule is
+    achievable without execution-resource contention.
+    """
+    start = graph.asap_start_times()
+    events: List[Tuple[int, int]] = []
+    for nid in graph.node_ids:
+        s = start[nid]
+        e = s + graph.task(nid).exec_time
+        events.append((s, +1))
+        events.append((e, -1))
+    events.sort()
+    best = cur = 0
+    for _, delta in events:
+        cur += delta
+        best = max(best, cur)
+    return best

@@ -1,0 +1,200 @@
+"""Convenience constructors for common task-graph shapes.
+
+These builders cover the structures used in tests, the motivational
+examples and the synthetic multimedia benchmarks: chains (pipelines),
+forks/joins, diamonds and layered graphs.  All times are integer µs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.task import TaskSpec
+from repro.graphs.task_graph import Edge, TaskGraph
+
+
+class TaskGraphBuilder:
+    """Fluent builder for :class:`TaskGraph`.
+
+    >>> g = (TaskGraphBuilder("demo")
+    ...      .add_task(1, 2500).add_task(2, 2500).add_task(3, 4000)
+    ...      .add_edge(1, 3).add_edge(2, 3)
+    ...      .build())
+    >>> len(g)
+    3
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._specs: List[TaskSpec] = []
+        self._edges: List[Edge] = []
+
+    def add_task(
+        self, node_id: int, exec_time: int, name: str = "", bitstream_kb: int = 512
+    ) -> "TaskGraphBuilder":
+        self._specs.append(
+            TaskSpec(node_id=node_id, exec_time=exec_time, name=name, bitstream_kb=bitstream_kb)
+        )
+        return self
+
+    def add_tasks(self, exec_times: Mapping[int, int]) -> "TaskGraphBuilder":
+        for node_id, exec_time in sorted(exec_times.items()):
+            self.add_task(node_id, exec_time)
+        return self
+
+    def add_edge(self, pred: int, succ: int) -> "TaskGraphBuilder":
+        self._edges.append((pred, succ))
+        return self
+
+    def add_edges(self, edges: Iterable[Edge]) -> "TaskGraphBuilder":
+        for pred, succ in edges:
+            self.add_edge(pred, succ)
+        return self
+
+    def add_chain(self, node_ids: Sequence[int]) -> "TaskGraphBuilder":
+        """Add edges forming a chain over already-added nodes."""
+        for pred, succ in zip(node_ids, node_ids[1:]):
+            self.add_edge(pred, succ)
+        return self
+
+    def build(self) -> TaskGraph:
+        return TaskGraph(self.name, self._specs, self._edges)
+
+
+def chain_graph(
+    name: str, exec_times: Sequence[int], first_id: int = 1
+) -> TaskGraph:
+    """A linear pipeline ``t1 -> t2 -> ... -> tn``."""
+    if not exec_times:
+        raise GraphError("chain_graph needs at least one task")
+    builder = TaskGraphBuilder(name)
+    ids = list(range(first_id, first_id + len(exec_times)))
+    for node_id, exec_time in zip(ids, exec_times):
+        builder.add_task(node_id, exec_time)
+    builder.add_chain(ids)
+    return builder.build()
+
+
+def fork_join_graph(
+    name: str,
+    source_time: int,
+    branch_times: Sequence[int],
+    sink_time: int,
+    first_id: int = 1,
+) -> TaskGraph:
+    """``source -> {branches...} -> sink`` (classic fork/join).
+
+    With ``len(branch_times)`` parallel branches of one task each.
+    """
+    if not branch_times:
+        raise GraphError("fork_join_graph needs at least one branch")
+    builder = TaskGraphBuilder(name)
+    src = first_id
+    builder.add_task(src, source_time)
+    branch_ids = []
+    for i, t in enumerate(branch_times):
+        nid = first_id + 1 + i
+        branch_ids.append(nid)
+        builder.add_task(nid, t)
+        builder.add_edge(src, nid)
+    sink = first_id + 1 + len(branch_times)
+    builder.add_task(sink, sink_time)
+    for nid in branch_ids:
+        builder.add_edge(nid, sink)
+    return builder.build()
+
+
+def join_graph(
+    name: str, branch_times: Sequence[int], sink_time: int, first_id: int = 1
+) -> TaskGraph:
+    """``{branches...} -> sink`` — independent sources joining on a sink."""
+    if not branch_times:
+        raise GraphError("join_graph needs at least one branch")
+    builder = TaskGraphBuilder(name)
+    branch_ids = []
+    for i, t in enumerate(branch_times):
+        nid = first_id + i
+        branch_ids.append(nid)
+        builder.add_task(nid, t)
+    sink = first_id + len(branch_times)
+    builder.add_task(sink, sink_time)
+    for nid in branch_ids:
+        builder.add_edge(nid, sink)
+    return builder.build()
+
+
+def fork_graph(
+    name: str, source_time: int, branch_times: Sequence[int], first_id: int = 1
+) -> TaskGraph:
+    """``source -> {branches...}`` — one source fanning out."""
+    if not branch_times:
+        raise GraphError("fork_graph needs at least one branch")
+    builder = TaskGraphBuilder(name)
+    src = first_id
+    builder.add_task(src, source_time)
+    for i, t in enumerate(branch_times):
+        nid = first_id + 1 + i
+        builder.add_task(nid, t)
+        builder.add_edge(src, nid)
+    return builder.build()
+
+
+def diamond_graph(
+    name: str,
+    times: Sequence[int],
+    first_id: int = 1,
+) -> TaskGraph:
+    """Four-node diamond ``a -> {b, c} -> d`` with ``times = (a, b, c, d)``."""
+    if len(times) != 4:
+        raise GraphError(f"diamond_graph needs exactly 4 times, got {len(times)}")
+    return fork_join_graph(
+        name, times[0], [times[1], times[2]], times[3], first_id=first_id
+    )
+
+
+def independent_tasks_graph(
+    name: str, exec_times: Sequence[int], first_id: int = 1
+) -> TaskGraph:
+    """A graph with no edges at all (fully parallel tasks)."""
+    if not exec_times:
+        raise GraphError("independent_tasks_graph needs at least one task")
+    builder = TaskGraphBuilder(name)
+    for i, t in enumerate(exec_times):
+        builder.add_task(first_id + i, t)
+    return builder.build()
+
+
+def layered_graph(
+    name: str,
+    layer_times: Sequence[Sequence[int]],
+    dense: bool = True,
+    first_id: int = 1,
+) -> TaskGraph:
+    """Layered DAG: every task of layer *k* precedes task(s) of layer *k+1*.
+
+    ``dense=True`` connects all-to-all between consecutive layers;
+    ``dense=False`` connects each node to one node of the next layer
+    (index-aligned, wrapping), producing parallel chains.
+    """
+    if not layer_times or any(not layer for layer in layer_times):
+        raise GraphError("layered_graph needs non-empty layers")
+    builder = TaskGraphBuilder(name)
+    layers: List[List[int]] = []
+    nid = first_id
+    for layer in layer_times:
+        ids = []
+        for t in layer:
+            builder.add_task(nid, t)
+            ids.append(nid)
+            nid += 1
+        layers.append(ids)
+    for upper, lower in zip(layers, layers[1:]):
+        if dense:
+            for p in upper:
+                for s in lower:
+                    builder.add_edge(p, s)
+        else:
+            for i, p in enumerate(upper):
+                builder.add_edge(p, lower[i % len(lower)])
+    return builder.build()

@@ -1,0 +1,148 @@
+"""Seeded random task-graph generators.
+
+Used by the ablation experiments and property-based tests to stress the
+simulator and policies beyond the three multimedia benchmarks.  Two
+families are provided:
+
+* :func:`random_layered_graph` — classic layer-by-layer DAG generator
+  (every edge goes from a layer to a strictly later layer), which bounds
+  depth and width explicitly; and
+* :func:`random_erdos_dag` — Erdős–Rényi-style DAG: a random order over
+  nodes with forward edges sampled independently.
+
+Both are deterministic given a seed and always produce *connected-enough*
+graphs for scheduling (no dangling guarantee is required by the model; a
+DAG with several components simply schedules them in parallel).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.task import TaskSpec
+from repro.graphs.task_graph import TaskGraph
+from repro.util.rng import SeedLike, make_rng
+
+
+def random_exec_times(
+    rng: np.random.Generator,
+    n: int,
+    low_us: int = 2_000,
+    high_us: int = 40_000,
+) -> List[int]:
+    """``n`` uniform execution times in ``[low_us, high_us]`` µs."""
+    if low_us <= 0 or high_us < low_us:
+        raise GraphError(f"invalid exec-time range [{low_us}, {high_us}]")
+    return [int(t) for t in rng.integers(low_us, high_us + 1, size=n)]
+
+
+def random_layered_graph(
+    name: str,
+    n_tasks: int,
+    seed: SeedLike = None,
+    max_width: int = 3,
+    edge_density: float = 0.6,
+    low_us: int = 2_000,
+    high_us: int = 40_000,
+) -> TaskGraph:
+    """Random layered DAG with ``n_tasks`` nodes.
+
+    Nodes are dealt into layers of random width ``1..max_width``; each node
+    (except in the first layer) receives at least one predecessor from the
+    previous layer, plus extra previous-layer edges with probability
+    ``edge_density``.  This mimics the pipelined fork/join structure of
+    multimedia kernels.
+    """
+    if n_tasks < 1:
+        raise GraphError(f"n_tasks must be >= 1, got {n_tasks}")
+    if not 0.0 <= edge_density <= 1.0:
+        raise GraphError(f"edge_density must be in [0, 1], got {edge_density}")
+    if max_width < 1:
+        raise GraphError(f"max_width must be >= 1, got {max_width}")
+    rng = make_rng(seed)
+
+    # Deal nodes into layers.
+    layers: List[List[int]] = []
+    next_id = 1
+    remaining = n_tasks
+    while remaining > 0:
+        width = int(rng.integers(1, max_width + 1))
+        width = min(width, remaining)
+        layers.append(list(range(next_id, next_id + width)))
+        next_id += width
+        remaining -= width
+
+    times = random_exec_times(rng, n_tasks, low_us, high_us)
+    specs = [TaskSpec(node_id=i + 1, exec_time=times[i]) for i in range(n_tasks)]
+
+    edges: List[Tuple[int, int]] = []
+    for prev, cur in zip(layers, layers[1:]):
+        for node in cur:
+            # Mandatory predecessor keeps the graph layered and connected.
+            anchor = int(prev[int(rng.integers(0, len(prev)))])
+            edges.append((anchor, node))
+            for cand in prev:
+                if cand != anchor and rng.random() < edge_density:
+                    edges.append((cand, node))
+    return TaskGraph(name, specs, edges)
+
+
+def random_erdos_dag(
+    name: str,
+    n_tasks: int,
+    seed: SeedLike = None,
+    edge_prob: float = 0.3,
+    low_us: int = 2_000,
+    high_us: int = 40_000,
+) -> TaskGraph:
+    """Random DAG via forward edges over a random node order.
+
+    Every pair ``(i, j)`` with ``i`` earlier than ``j`` in a random
+    permutation receives an edge with probability ``edge_prob``.
+    """
+    if n_tasks < 1:
+        raise GraphError(f"n_tasks must be >= 1, got {n_tasks}")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    rng = make_rng(seed)
+    order = list(rng.permutation(np.arange(1, n_tasks + 1)))
+    times = random_exec_times(rng, n_tasks, low_us, high_us)
+    specs = [TaskSpec(node_id=i + 1, exec_time=times[i]) for i in range(n_tasks)]
+    edges: List[Tuple[int, int]] = []
+    for i in range(n_tasks):
+        for j in range(i + 1, n_tasks):
+            if rng.random() < edge_prob:
+                edges.append((int(order[i]), int(order[j])))
+    return TaskGraph(name, specs, edges)
+
+
+def random_benchmark_like_suite(
+    n_graphs: int,
+    seed: SeedLike = None,
+    size_range: Tuple[int, int] = (4, 6),
+    name_prefix: str = "APP",
+) -> List[TaskGraph]:
+    """A suite of random applications shaped like the paper's benchmarks.
+
+    Node counts are drawn uniformly from ``size_range`` (default 4..6, the
+    paper's application sizes); structures are layered with max width 3.
+    Application names are ``APP0, APP1, ...`` so configurations are
+    disjoint across applications, as in the paper.
+    """
+    if n_graphs < 1:
+        raise GraphError(f"n_graphs must be >= 1, got {n_graphs}")
+    lo, hi = size_range
+    if lo < 1 or hi < lo:
+        raise GraphError(f"invalid size_range {size_range}")
+    rng = make_rng(seed)
+    suite = []
+    for i in range(n_graphs):
+        n = int(rng.integers(lo, hi + 1))
+        child_seed = int(rng.integers(0, 2**63 - 1))
+        suite.append(
+            random_layered_graph(f"{name_prefix}{i}", n, seed=child_seed)
+        )
+    return suite

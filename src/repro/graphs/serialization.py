@@ -1,0 +1,110 @@
+"""JSON-friendly (de)serialization of task graphs.
+
+The on-disk format is a plain dict so workloads/scenarios can be stored in
+version control and exchanged between tools:
+
+.. code-block:: json
+
+    {
+      "name": "JPEG",
+      "tasks": [{"id": 1, "exec_time": 20000, "name": "vld", "bitstream_kb": 512}],
+      "edges": [[1, 2]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.exceptions import GraphError
+from repro.graphs.task import TaskSpec
+from repro.graphs.task_graph import TaskGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize ``graph`` to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "id": spec.node_id,
+                "exec_time": spec.exec_time,
+                "name": spec.name,
+                "bitstream_kb": spec.bitstream_kb,
+            }
+            for spec in graph
+        ],
+        "edges": [list(edge) for edge in sorted(graph.edges)],
+    }
+
+
+def graph_from_dict(data: Mapping[str, Any]) -> TaskGraph:
+    """Deserialize a dict produced by :func:`graph_to_dict`.
+
+    Unknown versions are rejected; missing optional fields get defaults.
+    """
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported task-graph format version {version!r}")
+    try:
+        name = data["name"]
+        raw_tasks = data["tasks"]
+        raw_edges = data.get("edges", [])
+    except KeyError as exc:
+        raise GraphError(f"missing required task-graph field: {exc}") from exc
+
+    specs: List[TaskSpec] = []
+    for raw in raw_tasks:
+        try:
+            specs.append(
+                TaskSpec(
+                    node_id=int(raw["id"]),
+                    exec_time=int(raw["exec_time"]),
+                    name=str(raw.get("name", "")),
+                    bitstream_kb=int(raw.get("bitstream_kb", 512)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError(f"invalid task record {raw!r}: {exc}") from exc
+
+    edges = []
+    for raw in raw_edges:
+        if len(raw) != 2:
+            raise GraphError(f"invalid edge record {raw!r}")
+        edges.append((int(raw[0]), int(raw[1])))
+    return TaskGraph(name, specs, edges)
+
+
+def graph_to_json(graph: TaskGraph, indent: int = 2) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Deserialize a graph from the JSON produced by :func:`graph_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid task-graph JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise GraphError("task-graph JSON must be an object")
+    return graph_from_dict(data)
+
+
+def save_graphs(graphs: Sequence[TaskGraph], path: str) -> None:
+    """Write several graphs to one JSON file (a list of graph objects)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump([graph_to_dict(g) for g in graphs], fh, indent=2, sort_keys=True)
+
+
+def load_graphs(path: str) -> List[TaskGraph]:
+    """Load the graphs written by :func:`save_graphs`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise GraphError(f"{path}: expected a JSON list of task graphs")
+    return [graph_from_dict(item) for item in data]

@@ -1,0 +1,108 @@
+"""Task model: the nodes of an application task graph.
+
+A *task* is a hardware kernel that occupies one Reconfigurable Unit (RU)
+while executing.  Its *configuration* (the partial bitstream that must be
+loaded into an RU before the task can run) is identified by
+:class:`ConfigId` — the pair ``(graph_name, node_id)``.  Two executions of
+the same node of the same application type share a configuration, which is
+exactly what makes configuration *reuse* possible; tasks of different
+applications never share configurations (paper §II).
+
+Time is expressed in integer microseconds throughout the library; see
+:mod:`repro.sim.simtime` for conversion helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class ConfigId(NamedTuple):
+    """Identity of a reconfiguration bitstream.
+
+    ``graph_name``
+        Name of the application type (e.g. ``"JPEG"``); all instances of an
+        application share its configurations.
+    ``node_id``
+        Node identifier within the task graph.
+    """
+
+    graph_name: str
+    node_id: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.graph_name}.{self.node_id}"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static description of one task-graph node.
+
+    Parameters
+    ----------
+    node_id:
+        Integer identifier, unique within its graph.
+    exec_time:
+        Execution time in integer microseconds (µs).  Must be positive: a
+        task that takes no time has no schedulable meaning in the paper's
+        model.
+    name:
+        Optional human-readable label (defaults to ``"t<node_id>"``).
+    bitstream_kb:
+        Size of the configuration bitstream in KiB.  The paper's device has
+        equal-sized RUs, hence equal-sized bitstreams by default; the value
+        only feeds the optional energy model (:mod:`repro.metrics.energy`).
+    """
+
+    node_id: int
+    exec_time: int
+    name: str = ""
+    bitstream_kb: int = 512
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.exec_time <= 0:
+            raise ValueError(
+                f"exec_time must be a positive integer number of µs, got {self.exec_time!r}"
+            )
+        if self.bitstream_kb <= 0:
+            raise ValueError(f"bitstream_kb must be > 0, got {self.bitstream_kb}")
+        if not self.name:
+            object.__setattr__(self, "name", f"t{self.node_id}")
+
+    def with_exec_time(self, exec_time: int) -> "TaskSpec":
+        """Return a copy with a different execution time (µs)."""
+        return TaskSpec(
+            node_id=self.node_id,
+            exec_time=exec_time,
+            name=self.name,
+            bitstream_kb=self.bitstream_kb,
+        )
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One dynamic occurrence of a task: node ``node_id`` of application
+    instance number ``app_index`` in the executed sequence.
+
+    The simulator works on instances; the replacement policies mostly work
+    on :class:`ConfigId` (reuse is a property of configurations, not
+    instances).
+    """
+
+    app_index: int
+    config: ConfigId
+    exec_time: int
+
+    @property
+    def node_id(self) -> int:
+        return self.config.node_id
+
+    @property
+    def graph_name(self) -> str:
+        return self.config.graph_name
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"app{self.app_index}:{self.config}"

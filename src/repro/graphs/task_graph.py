@@ -1,0 +1,304 @@
+"""Directed-acyclic task-graph model (the paper's application model).
+
+Applications are DAGs whose nodes are computational tasks and whose edges
+are data/control dependencies (paper §I).  :class:`TaskGraph` is immutable
+after construction and validates acyclicity eagerly, so every downstream
+component (simulator, mobility calculator, policies) can assume a
+well-formed graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import CycleError, DuplicateTaskError, GraphError, UnknownTaskError
+from repro.graphs.task import ConfigId, TaskSpec
+
+Edge = Tuple[int, int]
+
+
+class TaskGraph:
+    """An immutable application task graph.
+
+    Parameters
+    ----------
+    name:
+        Application type name; configurations are identified by
+        ``(name, node_id)`` so the name must be unique per application type
+        within a workload.
+    tasks:
+        Iterable of :class:`TaskSpec`; node ids must be unique.
+    edges:
+        Iterable of ``(pred, succ)`` node-id pairs.  Self-loops and unknown
+        ids are rejected; duplicates are collapsed.
+
+    The class pre-computes predecessor/successor maps, a deterministic
+    topological order, and ASAP (as-soon-as-possible) start levels for the
+    zero-reconfiguration-latency schedule used both by the design-time
+    pre-processing and by the ideal-makespan metric.
+    """
+
+    __slots__ = (
+        "name",
+        "_tasks",
+        "_edges",
+        "_preds",
+        "_succs",
+        "_topo",
+        "_asap_start",
+        "_critical_path",
+    )
+
+    def __init__(self, name: str, tasks: Iterable[TaskSpec], edges: Iterable[Edge] = ()) -> None:
+        if not name:
+            raise GraphError("task graph needs a non-empty name")
+        self.name = name
+
+        self._tasks: Dict[int, TaskSpec] = {}
+        for spec in tasks:
+            if spec.node_id in self._tasks:
+                raise DuplicateTaskError(
+                    f"duplicate task id {spec.node_id} in graph {name!r}"
+                )
+            self._tasks[spec.node_id] = spec
+        if not self._tasks:
+            raise GraphError(f"task graph {name!r} has no tasks")
+
+        self._edges: FrozenSet[Edge] = frozenset(self._validate_edges(edges))
+        self._preds: Dict[int, Tuple[int, ...]] = {}
+        self._succs: Dict[int, Tuple[int, ...]] = {}
+        preds: Dict[int, List[int]] = {nid: [] for nid in self._tasks}
+        succs: Dict[int, List[int]] = {nid: [] for nid in self._tasks}
+        for pred, succ in sorted(self._edges):
+            preds[succ].append(pred)
+            succs[pred].append(succ)
+        for nid in self._tasks:
+            self._preds[nid] = tuple(sorted(preds[nid]))
+            self._succs[nid] = tuple(sorted(succs[nid]))
+
+        self._topo: Tuple[int, ...] = self._topological_order()
+        self._asap_start: Dict[int, int] = self._compute_asap_start()
+        self._critical_path: int = max(
+            self._asap_start[nid] + self._tasks[nid].exec_time for nid in self._tasks
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate_edges(self, edges: Iterable[Edge]) -> Iterator[Edge]:
+        for pred, succ in edges:
+            if pred == succ:
+                raise GraphError(f"self-loop on task {pred} in graph {self.name!r}")
+            if pred not in self._tasks:
+                raise UnknownTaskError(pred, self.name)
+            if succ not in self._tasks:
+                raise UnknownTaskError(succ, self.name)
+            yield (pred, succ)
+
+    def _topological_order(self) -> Tuple[int, ...]:
+        """Deterministic Kahn topological sort (lowest node id first)."""
+        indeg = {nid: len(self._preds[nid]) for nid in self._tasks}
+        ready = sorted(nid for nid, d in indeg.items() if d == 0)
+        order: List[int] = []
+        import heapq
+
+        heapq.heapify(ready)
+        while ready:
+            nid = heapq.heappop(ready)
+            order.append(nid)
+            for succ in self._succs[nid]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    heapq.heappush(ready, succ)
+        if len(order) != len(self._tasks):
+            missing = sorted(set(self._tasks) - set(order))
+            raise CycleError(f"unreached tasks {missing} in graph {self.name!r}")
+        return tuple(order)
+
+    def _compute_asap_start(self) -> Dict[int, int]:
+        start: Dict[int, int] = {}
+        for nid in self._topo:
+            preds = self._preds[nid]
+            start[nid] = max(
+                (start[p] + self._tasks[p].exec_time for p in preds), default=0
+            )
+        return start
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        """All node ids in deterministic topological order."""
+        return self._topo
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._tasks
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return (self._tasks[nid] for nid in self._topo)
+
+    def task(self, node_id: int) -> TaskSpec:
+        try:
+            return self._tasks[node_id]
+        except KeyError:
+            raise UnknownTaskError(node_id, self.name) from None
+
+    def tasks(self) -> Mapping[int, TaskSpec]:
+        """Read-only view of node id -> spec."""
+        return dict(self._tasks)
+
+    def predecessors(self, node_id: int) -> Tuple[int, ...]:
+        if node_id not in self._tasks:
+            raise UnknownTaskError(node_id, self.name)
+        return self._preds[node_id]
+
+    def successors(self, node_id: int) -> Tuple[int, ...]:
+        if node_id not in self._tasks:
+            raise UnknownTaskError(node_id, self.name)
+        return self._succs[node_id]
+
+    def sources(self) -> Tuple[int, ...]:
+        """Nodes with no predecessors, in id order."""
+        return tuple(nid for nid in self._topo if not self._preds[nid])
+
+    def sinks(self) -> Tuple[int, ...]:
+        """Nodes with no successors, in id order."""
+        return tuple(sorted(nid for nid in self._topo if not self._succs[nid]))
+
+    def config_id(self, node_id: int) -> ConfigId:
+        if node_id not in self._tasks:
+            raise UnknownTaskError(node_id, self.name)
+        return ConfigId(self.name, node_id)
+
+    def config_ids(self) -> Tuple[ConfigId, ...]:
+        return tuple(ConfigId(self.name, nid) for nid in self._topo)
+
+    def topological_order(self) -> Tuple[int, ...]:
+        """Deterministic topological order (Kahn, lowest id first)."""
+        return self._topo
+
+    def asap_start_times(self) -> Dict[int, int]:
+        """ASAP start time (µs) of each task in the zero-latency schedule.
+
+        This is the schedule assuming unlimited RUs and no reconfiguration
+        cost: a task starts the instant its last predecessor finishes.
+        """
+        return dict(self._asap_start)
+
+    def critical_path_length(self) -> int:
+        """Zero-latency makespan of the application in µs.
+
+        This is the paper's "initial execution time ... assuming that no
+        additional overhead is generated" (Table II column 2) and the
+        baseline for every overhead metric.
+        """
+        return self._critical_path
+
+    def total_exec_time(self) -> int:
+        """Sum of all task execution times (µs)."""
+        return sum(spec.exec_time for spec in self._tasks.values())
+
+    def depth_of(self, node_id: int) -> int:
+        """Number of edges on the longest path from any source to the node."""
+        if node_id not in self._tasks:
+            raise UnknownTaskError(node_id, self.name)
+        depth: Dict[int, int] = {}
+        for nid in self._topo:
+            preds = self._preds[nid]
+            depth[nid] = max((depth[p] + 1 for p in preds), default=0)
+        return depth[node_id]
+
+    def reconfiguration_order(self) -> Tuple[int, ...]:
+        """Design-time load order of the graph's tasks (paper §IV).
+
+        The manager pre-processes each graph "to identify in which order the
+        tasks must be loaded in the system".  We order by ASAP start time of
+        the zero-latency schedule (earlier-needed tasks first), breaking
+        ties by node id — a deterministic prefetch-friendly order that
+        matches the paper's worked examples.
+        """
+        return tuple(
+            sorted(self._topo, key=lambda nid: (self._asap_start[nid], nid))
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def renamed(self, new_name: str) -> "TaskGraph":
+        """A structurally identical graph with a different application name.
+
+        Renaming changes configuration identity: instances of the renamed
+        graph do not share configurations with the original.
+        """
+        return TaskGraph(new_name, list(self._tasks.values()), self._edges)
+
+    def with_exec_times(self, exec_times: Mapping[int, int]) -> "TaskGraph":
+        """Copy of the graph with selected execution times overridden."""
+        specs = []
+        for nid in self._topo:
+            spec = self._tasks[nid]
+            if nid in exec_times:
+                spec = spec.with_exec_time(exec_times[nid])
+            specs.append(spec)
+        return TaskGraph(self.name, specs, self._edges)
+
+    def scaled(self, factor: float) -> "TaskGraph":
+        """Copy with every execution time multiplied by ``factor``.
+
+        Times are rounded to the nearest µs and floored at 1 µs so the
+        result remains a valid graph.
+        """
+        if factor <= 0:
+            raise GraphError(f"scale factor must be > 0, got {factor}")
+        return self.with_exec_times(
+            {
+                nid: max(1, int(round(self._tasks[nid].exec_time * factor)))
+                for nid in self._topo
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder / debug
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TaskGraph(name={self.name!r}, tasks={len(self._tasks)}, "
+            f"edges={len(self._edges)}, cp={self._critical_path}us)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._tasks == other._tasks
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self._tasks.items())), self._edges))
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by examples/CLI."""
+        lines = [f"TaskGraph {self.name!r}: {len(self)} tasks, {len(self._edges)} edges"]
+        for nid in self._topo:
+            spec = self._tasks[nid]
+            preds = ",".join(map(str, self._preds[nid])) or "-"
+            lines.append(
+                f"  {spec.name} (id={nid}): exec={spec.exec_time}us preds=[{preds}]"
+            )
+        lines.append(f"  critical path: {self._critical_path}us")
+        return "\n".join(lines)
+
+
+def validate_same_shape(a: TaskGraph, b: TaskGraph) -> bool:
+    """True when two graphs share node ids and edges (exec times may differ)."""
+    return set(a.node_ids) == set(b.node_ids) and a.edges == b.edges

@@ -1,0 +1,28 @@
+"""Metrics: reuse, overheads, energy and aggregate experiment records.
+
+The headline per-run metrics (reuse rate, reconfiguration overhead,
+remaining-overhead percentage) live on
+:class:`repro.sim.simulator.SimulationResult`; this package adds the
+energy model and the multi-run aggregation used by the figure harnesses.
+"""
+
+from repro.metrics.energy import EnergyModel, EnergyReport, reconfiguration_energy
+from repro.metrics.summary import PolicyRunRecord, SweepResult
+from repro.metrics.utilization import (
+    AppLatencyStats,
+    UtilizationReport,
+    app_latency_stats,
+    utilization,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "reconfiguration_energy",
+    "PolicyRunRecord",
+    "SweepResult",
+    "AppLatencyStats",
+    "UtilizationReport",
+    "app_latency_stats",
+    "utilization",
+]

@@ -1,0 +1,115 @@
+"""Aggregate result records for policy-comparison experiments.
+
+One :class:`PolicyRunRecord` captures everything the paper reports about a
+(policy, device, workload) cell: reuse rate, remaining-overhead percentage,
+raw overheads and counters.  :class:`SweepResult` collects the cells of one
+figure (e.g. reuse vs. #RUs for five policies) and renders the same
+rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import TextTable, format_series
+
+
+@dataclass(frozen=True)
+class PolicyRunRecord:
+    """One (policy, n_rus) measurement on a fixed workload."""
+
+    policy_label: str
+    n_rus: int
+    reuse_pct: float
+    remaining_overhead_pct: float
+    overhead_ms: float
+    makespan_ms: float
+    ideal_makespan_ms: float
+    n_reconfigurations: int
+    n_reuses: int
+    n_skips: int
+
+    @classmethod
+    def from_result(
+        cls, policy_label: str, n_rus: int, result: SimulationResult
+    ) -> "PolicyRunRecord":
+        return cls(
+            policy_label=policy_label,
+            n_rus=n_rus,
+            reuse_pct=result.reuse_pct,
+            remaining_overhead_pct=result.remaining_overhead_pct(),
+            overhead_ms=result.overhead_us / 1000.0,
+            makespan_ms=result.makespan_us / 1000.0,
+            ideal_makespan_ms=result.ideal_makespan_us / 1000.0,
+            n_reconfigurations=result.trace.n_reconfigurations,
+            n_reuses=result.trace.n_reused_executions,
+            n_skips=result.trace.n_skips,
+        )
+
+
+@dataclass
+class SweepResult:
+    """All cells of one figure: policies x RU counts on one workload."""
+
+    title: str
+    ru_counts: Tuple[int, ...]
+    records: List[PolicyRunRecord] = field(default_factory=list)
+
+    def add(self, record: PolicyRunRecord) -> None:
+        self.records.append(record)
+
+    def policies(self) -> List[str]:
+        """Policy labels in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.policy_label, None)
+        return list(seen)
+
+    def cell(self, policy_label: str, n_rus: int) -> PolicyRunRecord:
+        for r in self.records:
+            if r.policy_label == policy_label and r.n_rus == n_rus:
+                return r
+        raise KeyError(f"no record for ({policy_label!r}, {n_rus} RUs)")
+
+    def series(self, policy_label: str, metric: str) -> List[float]:
+        """Metric values of one policy across the RU sweep (+ average)."""
+        values = [
+            getattr(self.cell(policy_label, n), metric) for n in self.ru_counts
+        ]
+        return values
+
+    def average(self, policy_label: str, metric: str) -> float:
+        values = self.series(policy_label, metric)
+        return sum(values) / len(values) if values else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering (the paper's rows/series)
+    # ------------------------------------------------------------------
+    def render_table(self, metric: str, header: str) -> str:
+        table = TextTable(
+            ["policy"] + [str(n) for n in self.ru_counts] + ["Avg."],
+            title=f"{self.title} — {header}",
+        )
+        for label in self.policies():
+            values = self.series(label, metric)
+            avg = sum(values) / len(values)
+            table.add_row([label] + [f"{v:.2f}" for v in values] + [f"{avg:.2f}"])
+        return table.render()
+
+    def render_series(self, metric: str) -> str:
+        lines = []
+        for label in self.policies():
+            lines.append(
+                format_series(label, self.ru_counts, self.series(label, metric))
+            )
+        return "\n".join(lines)
+
+    def as_rows(self, metric: str) -> List[Tuple[str, List[float], float]]:
+        """(policy, per-RU values, average) rows for programmatic checks."""
+        out = []
+        for label in self.policies():
+            values = self.series(label, metric)
+            out.append((label, values, sum(values) / len(values)))
+        return out

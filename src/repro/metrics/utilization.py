@@ -1,0 +1,95 @@
+"""Device-utilization and responsiveness statistics from traces.
+
+Beyond the paper's headline metrics (reuse, overhead), system designers
+care about how busy the RUs are and how long applications wait; these
+helpers compute both from a trace, and the set-top example uses them for
+its sizing study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graphs.task_graph import TaskGraph
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Per-device busy/idle split over the makespan."""
+
+    makespan_us: int
+    exec_utilization: Dict[int, float]      # RU -> fraction executing
+    reconfig_utilization: Dict[int, float]  # RU -> fraction reconfiguring
+
+    @property
+    def mean_exec_utilization(self) -> float:
+        values = list(self.exec_utilization.values())
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def mean_reconfig_utilization(self) -> float:
+        values = list(self.reconfig_utilization.values())
+        return float(np.mean(values)) if values else 0.0
+
+
+def utilization(trace: Trace) -> UtilizationReport:
+    """Fraction of the makespan each RU spends executing / reconfiguring."""
+    makespan = trace.makespan
+    exec_u: Dict[int, float] = {}
+    rec_u: Dict[int, float] = {}
+    for ru in range(trace.n_rus):
+        busy = sum(e.duration for e in trace.executions_on_ru(ru))
+        rec = sum(r.latency for r in trace.reconfigs_on_ru(ru))
+        exec_u[ru] = busy / makespan if makespan else 0.0
+        rec_u[ru] = rec / makespan if makespan else 0.0
+    return UtilizationReport(
+        makespan_us=makespan, exec_utilization=exec_u, reconfig_utilization=rec_u
+    )
+
+
+@dataclass(frozen=True)
+class AppLatencyStats:
+    """Distribution of per-application turnaround times (µs).
+
+    Turnaround = completion time − start-possible time (the completion of
+    the previous application, or 0 for the first).  The slowdown relates
+    it to the application's zero-overhead critical path.
+    """
+
+    mean_turnaround_us: float
+    p50_turnaround_us: float
+    p95_turnaround_us: float
+    max_turnaround_us: int
+    mean_slowdown: float
+
+    @staticmethod
+    def empty() -> "AppLatencyStats":
+        return AppLatencyStats(0.0, 0.0, 0.0, 0, 0.0)
+
+
+def app_latency_stats(trace: Trace, graphs: Sequence[TaskGraph]) -> AppLatencyStats:
+    """Turnaround statistics per application instance."""
+    if not trace.app_completion_times:
+        return AppLatencyStats.empty()
+    turnarounds: List[int] = []
+    slowdowns: List[float] = []
+    previous_end = 0
+    for app_index in sorted(trace.app_completion_times):
+        end = trace.app_completion_times[app_index]
+        turnaround = end - previous_end
+        turnarounds.append(turnaround)
+        cp = graphs[app_index].critical_path_length()
+        slowdowns.append(turnaround / cp if cp else 0.0)
+        previous_end = end
+    arr = np.asarray(turnarounds, dtype=float)
+    return AppLatencyStats(
+        mean_turnaround_us=float(arr.mean()),
+        p50_turnaround_us=float(np.percentile(arr, 50)),
+        p95_turnaround_us=float(np.percentile(arr, 95)),
+        max_turnaround_us=int(arr.max()),
+        mean_slowdown=float(np.mean(slowdowns)),
+    )

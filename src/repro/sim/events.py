@@ -1,0 +1,90 @@
+"""Event queue for the event-triggered execution manager.
+
+The paper's manager (§IV, Fig. 4) "only considers some discretized time
+instants following an event-triggered approach".  Three event kinds drive
+the simulation:
+
+* ``END_OF_EXECUTION`` — a task finished on an RU;
+* ``END_OF_RECONFIGURATION`` — the reconfiguration circuitry finished
+  loading a configuration into an RU;
+* ``APP_ARRIVAL`` — a new task graph was received (the paper's
+  ``new_task_graph`` event).
+
+(The paper's ``reused_task`` event is consumed inline by the dispatch loop:
+reuse takes zero time, so it never needs to be scheduled into the future.)
+
+Events are totally ordered by ``(time, priority, seq)`` where ``seq`` is a
+monotone insertion counter — the simulation is therefore fully
+deterministic.  End-of-execution is processed before end-of-reconfiguration
+at equal times so dependency updates precede new dispatch attempts, which
+matches the paper's Fig. 4 case ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, List, Optional, Tuple
+
+
+class EventKind(IntEnum):
+    """Event kinds; the integer value doubles as same-time priority."""
+
+    END_OF_EXECUTION = 0
+    END_OF_RECONFIGURATION = 1
+    APP_ARRIVAL = 2
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled simulator event.
+
+    ``payload`` is event-kind specific:
+
+    * ``END_OF_EXECUTION`` / ``END_OF_RECONFIGURATION``: ``(ru_index, TaskInstance)``
+    * ``APP_ARRIVAL``: ``app_index``
+    """
+
+    time: int
+    kind: EventKind
+    payload: Any
+    seq: int = 0
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (self.time, int(self.kind), self.seq)
+
+
+class EventQueue:
+    """Deterministic binary-heap event queue."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[int, int, int], Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: int, kind: EventKind, payload: Any) -> Event:
+        """Schedule an event; returns the stored :class:`Event`."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, kind=kind, payload=payload, seq=next(self._counter))
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Optional[Event]:
+        """Earliest event without removing it, or ``None`` when empty."""
+        return self._heap[0][1] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,98 @@
+"""ASCII Gantt rendering of simulation traces.
+
+Renders per-RU timelines like the paper's Figs. 2/3/7 schedules:
+reconfigurations (``#`` cells), executions (task label cells) and reused
+executions (``*`` prefix).  Used by the examples and by humans debugging
+the calibration of the motivational figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+
+
+def render_gantt(
+    trace: Trace,
+    cell_us: int = 1000,
+    max_width: int = 200,
+    label_fn=None,
+) -> str:
+    """Render ``trace`` as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    cell_us:
+        Microseconds represented by one character cell (default 1 ms).
+    max_width:
+        Upper bound on chart width; ``cell_us`` is scaled up if needed.
+    label_fn:
+        Optional ``ConfigId -> str`` single-char-ish labeller; defaults to
+        the node id.
+    """
+    if cell_us <= 0:
+        raise ValueError(f"cell_us must be > 0, got {cell_us}")
+    makespan = trace.makespan
+    if makespan == 0:
+        return "(empty trace)"
+    while makespan // cell_us + 1 > max_width:
+        cell_us *= 2
+    n_cells = makespan // cell_us + 1
+
+    if label_fn is None:
+        label_fn = lambda cfg: str(cfg.node_id)  # noqa: E731
+
+    lines: List[str] = [f"time: 1 cell = {cell_us}us, makespan = {makespan}us"]
+    for ru in range(trace.n_rus):
+        cells = [" "] * n_cells
+        for rec in trace.reconfigs_on_ru(ru):
+            for c in range(rec.start // cell_us, min(n_cells, _ceil_div(rec.end, cell_us))):
+                cells[c] = "#"
+        for ex in trace.executions_on_ru(ru):
+            label = label_fn(ex.config)
+            mark = "*" if ex.reused else ""
+            span = range(ex.start // cell_us, min(n_cells, _ceil_div(ex.end, cell_us)))
+            text = (mark + label) * len(list(span))
+            for j, c in enumerate(span):
+                cells[c] = (mark + label)[j % len(mark + label)] if mark + label else "?"
+        lines.append(f"RU{ru}: |{''.join(cells)}|")
+    legend = "legend: '#'=reconfiguration, digits=executing task, '*'=reused"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def render_timeline_events(trace: Trace, limit: Optional[int] = None) -> str:
+    """Chronological textual event log of a trace (for debugging)."""
+    events: List[Tuple[int, int, str]] = []
+    for rec in trace.reconfigs:
+        events.append(
+            (rec.start, 0, f"{rec.start:>8}us  RU{rec.ru} load  {rec.config} (app {rec.app_index}) until {rec.end}us")
+        )
+    for reuse in trace.reuses:
+        events.append(
+            (reuse.time, 1, f"{reuse.time:>8}us  RU{reuse.ru} reuse {reuse.config} (app {reuse.app_index})")
+        )
+    for skip in trace.skips:
+        events.append(
+            (
+                skip.time,
+                2,
+                f"{skip.time:>8}us  skip  {skip.config} spares {skip.victim_config} "
+                f"(app {skip.app_index}, skipped={skip.skipped_events_after})",
+            )
+        )
+    for ex in trace.executions:
+        star = "*" if ex.reused else " "
+        events.append(
+            (ex.start, 3, f"{ex.start:>8}us  RU{ex.ru} exec{star}{ex.config} (app {ex.app_index}) until {ex.end}us")
+        )
+    events.sort(key=lambda t: (t[0], t[1]))
+    lines = [line for _, _, line in events]
+    if limit is not None:
+        lines = lines[:limit]
+    return "\n".join(lines)

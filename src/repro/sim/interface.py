@@ -1,0 +1,118 @@
+"""Interfaces between the execution manager and the replacement module.
+
+The manager (substrate, ref [9]) and the replacement technique (the paper's
+contribution, :mod:`repro.core`) are decoupled exactly as in the paper: on
+every load attempt the manager builds an immutable
+:class:`DecisionContext` and asks a :class:`ReplacementAdvisor` what to do.
+The advisor answers with a :class:`Decision`:
+
+* ``load(victim_index)`` — evict that RU and reconfigure (Fig. 8 steps 6-7);
+* ``skip()`` — delay the reconfiguration one event (Fig. 8 step 5).
+
+Free RUs never reach the advisor: the manager fills them directly (there is
+nothing to replace).  Bookkeeping notifications (loads, reuses, execution
+boundaries, application starts) let stateful policies such as LRU maintain
+recency without the manager knowing policy internals.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.graphs.task import ConfigId, TaskInstance
+from repro.sim.ru import RUView
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Everything a replacement policy may look at for one decision.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (µs).
+    incoming:
+        The task instance that must be loaded.
+    candidates:
+        Non-empty tuple of evictable RU snapshots (S3-protected RUs are
+        already filtered out), in RU-index order.
+    future_refs:
+        The window-limited future reference string: configurations of the
+        not-yet-dispatched tasks, in reconfiguration-sequence order, for
+        the current application and the next ``lookahead_apps``
+        applications (the Dynamic-List view).  Excludes ``incoming``.
+    oracle_refs:
+        The complete future reference string (all remaining applications),
+        or ``None`` unless the manager runs with ``provide_oracle=True``.
+        Only the clairvoyant LFD baseline reads this.
+    dl_configs:
+        Set of configurations appearing in ``future_refs`` — the paper's
+        "inside the boundaries of DL" test for ``reusable(victim)``.
+    busy_configs:
+        Configurations currently executing or being reconfigured (their
+        RUs are not candidates *yet*).  Lets skip heuristics judge whether
+        waiting one event can surface a better victim.
+    mobility:
+        Design-time mobility of ``incoming`` (0 when no mobility table was
+        supplied).
+    skipped_events:
+        Events skipped so far while loading ``incoming``'s application
+        instance (the Fig. 8 counter).
+    """
+
+    now: int
+    incoming: TaskInstance
+    candidates: Tuple[RUView, ...]
+    future_refs: Tuple[ConfigId, ...]
+    oracle_refs: Optional[Tuple[ConfigId, ...]]
+    dl_configs: FrozenSet[ConfigId]
+    busy_configs: FrozenSet[ConfigId]
+    mobility: int
+    skipped_events: int
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Advisor verdict for one load attempt."""
+
+    victim_index: Optional[int]   # RU index to evict; None => skip
+    skip: bool = False
+
+    @staticmethod
+    def load(victim_index: int) -> "Decision":
+        return Decision(victim_index=victim_index, skip=False)
+
+    @staticmethod
+    def skip_event() -> "Decision":
+        return Decision(victim_index=None, skip=True)
+
+
+class ReplacementAdvisor(abc.ABC):
+    """Strategy object consulted by the manager on every eviction."""
+
+    @abc.abstractmethod
+    def decide(self, ctx: DecisionContext) -> Decision:
+        """Choose a victim among ``ctx.candidates`` or skip the event."""
+
+    # ------------------------------------------------------------------
+    # Bookkeeping notifications (default: ignore)
+    # ------------------------------------------------------------------
+    def on_load_complete(self, ru_index: int, config: ConfigId, now: int) -> None:
+        """A reconfiguration finished on ``ru_index``."""
+
+    def on_reuse(self, ru_index: int, config: ConfigId, now: int) -> None:
+        """A configuration was reused without reconfiguration."""
+
+    def on_execution_start(self, ru_index: int, config: ConfigId, now: int) -> None:
+        """A task started executing."""
+
+    def on_execution_end(self, ru_index: int, config: ConfigId, now: int) -> None:
+        """A task finished executing."""
+
+    def on_app_activated(self, app_index: int, now: int) -> None:
+        """An application became the current one."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation run."""

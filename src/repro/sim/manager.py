@@ -1,0 +1,540 @@
+"""The event-triggered task-graph execution manager (paper §IV, Fig. 4).
+
+This is the substrate the paper builds on (their ref [9]): it manages the
+execution of a sequence of applications (task graphs) on a device with
+``n_rus`` equal reconfigurable units and one shared reconfiguration
+circuitry, applying ASAP configuration prefetch, and it invokes the
+replacement module every time a new task must be loaded.
+
+Model summary (see DESIGN.md §3 for the resolved ambiguities S1-S6):
+
+* Applications execute strictly in sequence order: task executions of
+  application *k+1* begin only after application *k* has completed (S4).
+  Reconfigurations, however, are *prefetched*: while an application
+  executes, the manager keeps loading upcoming configurations, including —
+  subject to the S1 knob — configurations of future applications within the
+  Dynamic-List lookahead.
+* The design-time pre-processing stores each graph's tasks in a "sorted
+  sequence of reconfigurations" (:meth:`TaskGraph.reconfiguration_order`);
+  the global dispatch order is the concatenation of the per-application
+  sequences.
+* When the head of the sequence is already loaded, it is **reused**: no
+  reconfiguration happens and the RU is claimed for the upcoming execution.
+  Reuses of future applications are consumed only when the application
+  becomes current (S2), so a loaded future configuration parks the
+  sequence rather than claiming device state early.
+* When a load needs an eviction, the manager builds a
+  :class:`DecisionContext` and consults the :class:`ReplacementAdvisor`
+  (the paper's replacement module, Fig. 8), which may *skip the event* —
+  delay the reconfiguration — when the victim would be reused soon and the
+  incoming task has mobility to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import PolicyError, SimulationError
+from repro.graphs.task import ConfigId, TaskInstance
+from repro.graphs.task_graph import TaskGraph
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
+from repro.sim.ru import RU, RUState
+from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
+from repro.sim.trace import (
+    EvictionRecord,
+    ExecRecord,
+    ReconfigRecord,
+    ReuseRecord,
+    SkipRecord,
+    Trace,
+)
+
+#: Mobility tables: graph name -> node id -> mobility (max skippable events).
+MobilityTables = Mapping[str, Mapping[int, int]]
+
+
+class _AppRun:
+    """Runtime bookkeeping for one application instance."""
+
+    __slots__ = (
+        "index",
+        "graph",
+        "rec_order",
+        "instances",
+        "remaining_preds",
+        "done",
+        "unfinished",
+        "arrival_time",
+    )
+
+    def __init__(self, index: int, graph: TaskGraph, arrival_time: int) -> None:
+        self.index = index
+        self.graph = graph
+        self.rec_order: Tuple[int, ...] = graph.reconfiguration_order()
+        self.instances: Dict[int, TaskInstance] = {
+            nid: TaskInstance(
+                app_index=index,
+                config=graph.config_id(nid),
+                exec_time=graph.task(nid).exec_time,
+            )
+            for nid in graph.node_ids
+        }
+        self.remaining_preds: Dict[int, int] = {
+            nid: len(graph.predecessors(nid)) for nid in graph.node_ids
+        }
+        self.done: set = set()
+        self.unfinished = len(graph)
+        self.arrival_time = arrival_time
+
+    def deps_met(self, node_id: int) -> bool:
+        return self.remaining_preds[node_id] == 0
+
+    def complete(self) -> bool:
+        return self.unfinished == 0
+
+
+class ExecutionManager:
+    """Simulates one run of an application sequence on the device.
+
+    Parameters
+    ----------
+    graphs:
+        The application sequence, in execution order.
+    n_rus:
+        Number of reconfigurable units (the paper sweeps 4..10).
+    reconfig_latency:
+        Latency of one reconfiguration in µs (paper examples: 4000).
+    advisor:
+        The replacement module.  See :mod:`repro.core` for the paper's
+        policies; :class:`repro.sim.interface.ReplacementAdvisor` for the
+        contract.
+    semantics:
+        Manager behaviour switches (defaults = calibrated paper mode).
+    mobility_tables:
+        Optional design-time mobility per graph/node (enables the
+        skip-event feature when the advisor honours it).
+    arrival_times:
+        Optional per-application arrival times (µs).  Applications are
+        invisible to dispatch before arrival.  Defaults to all zero
+        (the whole Dynamic List known from the start, window permitting).
+    forced_delays:
+        Optional ``(app_index, node_id) -> n_events`` map: the dispatcher
+        unconditionally skips the first ``n_events`` load opportunities of
+        that task instance.  This is the mechanism the *design-time*
+        mobility calculation (paper Fig. 6) uses to tentatively delay one
+        task and measure the schedule impact; it is not used at run time.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[TaskGraph],
+        n_rus: int,
+        reconfig_latency: int,
+        advisor: ReplacementAdvisor,
+        semantics: ManagerSemantics = ManagerSemantics(),
+        mobility_tables: Optional[MobilityTables] = None,
+        arrival_times: Optional[Sequence[int]] = None,
+        forced_delays: Optional[Mapping[Tuple[int, int], int]] = None,
+    ) -> None:
+        if n_rus < 1:
+            raise SimulationError(f"n_rus must be >= 1, got {n_rus}")
+        if reconfig_latency < 0:
+            raise SimulationError(
+                f"reconfig_latency must be >= 0, got {reconfig_latency}"
+            )
+        if not graphs:
+            raise SimulationError("application sequence is empty")
+        if arrival_times is not None and len(arrival_times) != len(graphs):
+            raise SimulationError(
+                "arrival_times must match the number of applications"
+            )
+        max_par = max(_max_concurrency(g) for g in graphs)
+        if max_par > n_rus:
+            raise SimulationError(
+                f"an application needs {max_par} concurrent RUs but the "
+                f"device has only {n_rus}; the barrier model cannot schedule it"
+            )
+
+        self.semantics = semantics
+        self.n_rus = n_rus
+        self.reconfig_latency = reconfig_latency
+        self.advisor = advisor
+        self.mobility_tables = mobility_tables or {}
+        self._arrivals = list(arrival_times) if arrival_times else [0] * len(graphs)
+
+        self.apps: List[_AppRun] = [
+            _AppRun(i, g, self._arrivals[i]) for i, g in enumerate(graphs)
+        ]
+        self.rus: List[RU] = [RU(i) for i in range(n_rus)]
+        self.queue = EventQueue()
+        self.clock = 0
+        self.trace = Trace(n_rus=n_rus, reconfig_latency=reconfig_latency)
+
+        # Dispatch pointer over the concatenated reconfiguration sequences.
+        self._dispatch_app = 0       # index into self.apps
+        self._dispatch_pos = 0       # index into that app's rec_order
+        self._current_app = 0        # application currently executing
+        self._reconfig_busy_until = 0
+        self._reconfiguring = False
+        #: Events skipped so far per application instance (Fig. 8 counter).
+        self.skipped_events: Dict[int, int] = {}
+        #: Where each loaded config lives: config -> RU index.
+        self._loc: Dict[ConfigId, int] = {}
+        #: Remaining unconditional delay budget per (app_index, node_id).
+        self._forced_delays: Dict[Tuple[int, int], int] = (
+            dict(forced_delays) if forced_delays else {}
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Execute the whole sequence and return the trace."""
+        self.advisor.reset()
+        self.advisor.on_app_activated(0, 0)
+        self.skipped_events[0] = 0
+        for app in self.apps:
+            if app.arrival_time > 0:
+                self.queue.push(app.arrival_time, EventKind.APP_ARRIVAL, app.index)
+        # Kick-start dispatch at t=0 (the first new_task_graph event).
+        self._dispatch_and_start()
+
+        guard = 0
+        guard_limit = 1000 * sum(len(a.graph) for a in self.apps) + 10_000
+        while self.queue:
+            event = self.queue.pop()
+            if event.time < self.clock:
+                raise SimulationError("event queue went backwards in time")
+            self.clock = event.time
+            if event.kind is EventKind.END_OF_EXECUTION:
+                self._handle_end_of_execution(*event.payload)
+            elif event.kind is EventKind.END_OF_RECONFIGURATION:
+                self._handle_end_of_reconfiguration(*event.payload)
+            elif event.kind is EventKind.APP_ARRIVAL:
+                self._dispatch_and_start()
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {event.kind!r}")
+            guard += 1
+            if guard > guard_limit:  # pragma: no cover - defensive
+                raise SimulationError("simulation exceeded event budget (livelock?)")
+
+        unfinished = [a.index for a in self.apps if not a.complete()]
+        if unfinished:
+            raise SimulationError(
+                f"simulation ended with unfinished applications {unfinished}; "
+                "this indicates a dispatch deadlock"
+            )
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_end_of_execution(self, ru_index: int, instance: TaskInstance) -> None:
+        ru = self.rus[ru_index]
+        finished = ru.finish_execution(self.clock)
+        if finished is not instance:  # pragma: no cover - defensive
+            raise SimulationError("execution bookkeeping mismatch")
+        self.advisor.on_execution_end(ru_index, instance.config, self.clock)
+
+        app = self.apps[instance.app_index]
+        app.done.add(instance.node_id)
+        app.unfinished -= 1
+        for succ in app.graph.successors(instance.node_id):
+            app.remaining_preds[succ] -= 1
+
+        if app.complete():
+            self.trace.app_completion_times[app.index] = self.clock
+            self._activate_next_app()
+        self._dispatch_and_start()
+
+    def _handle_end_of_reconfiguration(self, ru_index: int, instance: TaskInstance) -> None:
+        ru = self.rus[ru_index]
+        ru.finish_load(self.clock)
+        self._reconfiguring = False
+        self.advisor.on_load_complete(ru_index, instance.config, self.clock)
+        self._dispatch_and_start()
+
+    def _activate_next_app(self) -> None:
+        """Advance the current-application pointer past completed apps."""
+        while (
+            self._current_app < len(self.apps)
+            and self.apps[self._current_app].complete()
+        ):
+            self._current_app += 1
+        if self._current_app < len(self.apps):
+            self.skipped_events.setdefault(self._current_app, 0)
+            self.advisor.on_app_activated(self._current_app, self.clock)
+
+    # ------------------------------------------------------------------
+    # Dispatch (the replacement-module invocation loop)
+    # ------------------------------------------------------------------
+    def _dispatch_and_start(self) -> None:
+        self._try_dispatch()
+        self._start_ready_executions()
+
+    def _try_dispatch(self) -> None:
+        """Process the reconfiguration sequence while progress is possible.
+
+        Mirrors the paper's Fig. 8 replacement module, invoked repeatedly
+        (Fig. 4 lines 3/9/12) until the circuitry is busy, the sequence is
+        exhausted/stalled, or a skip-event defers the head.
+        """
+        while True:
+            if self._reconfiguring:
+                return
+            head = self._peek_head()
+            if head is None:
+                return
+            instance, app = head
+            if not self._visible(app):
+                return
+
+            # Design-time forced delay (mobility calculation, Fig. 6):
+            # consume one load opportunity without dispatching.
+            delay_key = (instance.app_index, instance.node_id)
+            budget = self._forced_delays.get(delay_key, 0)
+            if budget > 0:
+                self._forced_delays[delay_key] = budget - 1
+                return
+
+            loc = self._loc.get(instance.config)
+            if loc is not None:
+                ru = self.rus[loc]
+                if ru.config != instance.config:  # pragma: no cover - defensive
+                    raise SimulationError("location map out of sync")
+                if ru.pending is not None or ru.state in (
+                    RUState.RECONFIGURING,
+                    RUState.EXECUTING,
+                ):
+                    # Config exists but is claimed/busy for an earlier
+                    # instance; wait for it to free up.
+                    return
+                if app.index != self._current_app and self.semantics.stall_on_loaded_future:
+                    # S2: future reuse consumed only on activation.
+                    return
+                ru.claim_reuse(instance)
+                self._advance_head()
+                self.trace.reuses.append(
+                    ReuseRecord(
+                        ru=ru.index,
+                        config=instance.config,
+                        app_index=app.index,
+                        time=self.clock,
+                    )
+                )
+                self.advisor.on_reuse(ru.index, instance.config, self.clock)
+                continue
+
+            # Configuration absent: a reconfiguration is required.
+            is_future = app.index != self._current_app
+            if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.ISOLATED:
+                return
+            free = self._first_free_ru()
+            if free is not None:
+                self._begin_load(free, instance)
+                continue
+            if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.FREE_RU_ONLY:
+                return
+
+            candidates = tuple(ru.view() for ru in self.rus if ru.is_candidate)
+            if not candidates:
+                return
+            ctx = self._build_context(instance, candidates)
+            decision = self.advisor.decide(ctx)
+            if decision.skip:
+                self.skipped_events[instance.app_index] = ctx.skipped_events + 1
+                victim_cfg = self._skip_victim_config(ctx)
+                self.trace.skips.append(
+                    SkipRecord(
+                        app_index=instance.app_index,
+                        config=instance.config,
+                        victim_config=victim_cfg,
+                        time=self.clock,
+                        skipped_events_after=ctx.skipped_events + 1,
+                    )
+                )
+                return
+            victim = self._validate_victim(decision, candidates)
+            self.trace.evictions.append(
+                EvictionRecord(
+                    ru=victim.index,
+                    old_config=victim.config,  # type: ignore[arg-type]
+                    new_config=instance.config,
+                    app_index=instance.app_index,
+                    time=self.clock,
+                )
+            )
+            self._begin_load(self.rus[victim.index], instance)
+            continue
+
+    def _skip_victim_config(self, ctx: DecisionContext) -> ConfigId:
+        """Best-effort record of which configuration a skip protected."""
+        for view in ctx.candidates:
+            if view.config in ctx.dl_configs:
+                return view.config  # type: ignore[return-value]
+        return ctx.candidates[0].config  # type: ignore[return-value]
+
+    def _validate_victim(self, decision: Decision, candidates) -> "RUView":
+        if decision.victim_index is None:
+            raise PolicyError("advisor returned a load decision without a victim")
+        for view in candidates:
+            if view.index == decision.victim_index:
+                return view
+        raise PolicyError(
+            f"advisor chose RU{decision.victim_index}, not a candidate "
+            f"(candidates: {[v.index for v in candidates]})"
+        )
+
+    def _begin_load(self, ru: RU, instance: TaskInstance) -> None:
+        if self._reconfiguring:  # pragma: no cover - defensive
+            raise SimulationError("reconfiguration circuitry already busy")
+        if ru.config is not None:
+            self._loc.pop(ru.config, None)
+        ru.begin_load(instance, self.clock)
+        self._loc[instance.config] = ru.index
+        self._reconfiguring = True
+        end = self.clock + self.reconfig_latency
+        self._reconfig_busy_until = end
+        self.trace.reconfigs.append(
+            ReconfigRecord(
+                ru=ru.index,
+                config=instance.config,
+                app_index=instance.app_index,
+                start=self.clock,
+                end=end,
+            )
+        )
+        self._advance_head()
+        self.queue.push(end, EventKind.END_OF_RECONFIGURATION, (ru.index, instance))
+
+    # ------------------------------------------------------------------
+    # Execution starts (Fig. 4 lines 6-7 and 15-19)
+    # ------------------------------------------------------------------
+    def _start_ready_executions(self) -> None:
+        if self._current_app >= len(self.apps):
+            return
+        app = self.apps[self._current_app]
+        for ru in self.rus:
+            if (
+                ru.state is RUState.LOADED
+                and ru.pending is not None
+                and ru.pending.app_index == self._current_app
+                and app.deps_met(ru.pending.node_id)
+            ):
+                reused = ru.pending_reused
+                instance = ru.start_execution(self.clock)
+                end = self.clock + instance.exec_time
+                self.trace.executions.append(
+                    ExecRecord(
+                        ru=ru.index,
+                        config=instance.config,
+                        app_index=instance.app_index,
+                        start=self.clock,
+                        end=end,
+                        reused=reused,
+                    )
+                )
+                self.advisor.on_execution_start(ru.index, instance.config, self.clock)
+                self.queue.push(end, EventKind.END_OF_EXECUTION, (ru.index, instance))
+
+    # ------------------------------------------------------------------
+    # Sequence pointer and visibility
+    # ------------------------------------------------------------------
+    def _peek_head(self) -> Optional[Tuple[TaskInstance, _AppRun]]:
+        while self._dispatch_app < len(self.apps):
+            app = self.apps[self._dispatch_app]
+            if self._dispatch_pos < len(app.rec_order):
+                node_id = app.rec_order[self._dispatch_pos]
+                return app.instances[node_id], app
+            self._dispatch_app += 1
+            self._dispatch_pos = 0
+        return None
+
+    def _advance_head(self) -> None:
+        self._dispatch_pos += 1
+
+    def _visible(self, app: _AppRun) -> bool:
+        """May the manager dispatch into ``app`` right now?"""
+        if app.arrival_time > self.clock:
+            return False
+        distance = app.index - self._current_app
+        return distance <= self.semantics.lookahead_apps
+
+    def _first_free_ru(self) -> Optional[RU]:
+        for ru in self.rus:
+            if ru.is_free:
+                return ru
+        return None
+
+    # ------------------------------------------------------------------
+    # Decision context
+    # ------------------------------------------------------------------
+    def _build_context(self, instance: TaskInstance, candidates) -> DecisionContext:
+        future = self._future_refs(self.semantics.lookahead_apps)
+        oracle = self._future_refs(None) if self.semantics.provide_oracle else None
+        mobility = int(
+            self.mobility_tables.get(instance.graph_name, {}).get(instance.node_id, 0)
+        )
+        skipped = self.skipped_events.setdefault(instance.app_index, 0)
+        busy = frozenset(
+            ru.config
+            for ru in self.rus
+            if ru.config is not None
+            and ru.state in (RUState.EXECUTING, RUState.RECONFIGURING)
+        )
+        return DecisionContext(
+            now=self.clock,
+            incoming=instance,
+            candidates=candidates,
+            future_refs=future,
+            oracle_refs=oracle,
+            dl_configs=frozenset(future),
+            busy_configs=busy,
+            mobility=mobility,
+            skipped_events=skipped,
+        )
+
+    def _future_refs(self, lookahead: Optional[int]) -> Tuple[ConfigId, ...]:
+        """Reference string after the head, window-limited unless ``None``.
+
+        Includes the not-yet-dispatched tasks of the current application
+        (they are needed soonest) followed by the applications within the
+        lookahead window, in reconfiguration-sequence order.
+        """
+        refs: List[ConfigId] = []
+        app_idx = self._dispatch_app
+        pos = self._dispatch_pos + 1  # skip the head itself
+        limit = (
+            len(self.apps)
+            if lookahead is None
+            else min(len(self.apps), self._current_app + lookahead + 1)
+        )
+        while app_idx < limit:
+            app = self.apps[app_idx]
+            if lookahead is not None and app.arrival_time > self.clock:
+                break
+            order = app.rec_order
+            while pos < len(order):
+                refs.append(app.instances[order[pos]].config)
+                pos += 1
+            app_idx += 1
+            pos = 0
+        return tuple(refs)
+
+
+def _max_concurrency(graph: TaskGraph) -> int:
+    """Max simultaneously-executing tasks of the zero-latency schedule."""
+    start = graph.asap_start_times()
+    events: List[Tuple[int, int]] = []
+    for nid in graph.node_ids:
+        s = start[nid]
+        events.append((s, 1))
+        events.append((s + graph.task(nid).exec_time, -1))
+    events.sort()
+    best = cur = 0
+    for _, delta in events:
+        cur += delta
+        best = max(best, cur)
+    return best

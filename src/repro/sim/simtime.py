@@ -1,0 +1,45 @@
+"""Simulation time representation.
+
+All simulator time is an ``int`` number of **microseconds**.  The paper's
+examples use fractional milliseconds (e.g. 2.5 ms task execution times),
+which are exact integers in µs, so the engine never compares floats.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: Type alias used in signatures for readability.
+TimeUs = int
+
+#: Microseconds per millisecond.
+US_PER_MS = 1000
+
+
+def ms(value: Union[int, float]) -> int:
+    """Convert milliseconds to integer microseconds.
+
+    Raises :class:`ValueError` when the value is not representable exactly
+    (sub-microsecond), so silent rounding can never skew an experiment.
+
+    >>> ms(2.5)
+    2500
+    """
+    us = value * US_PER_MS
+    rounded = round(us)
+    if abs(us - rounded) > 1e-6:
+        raise ValueError(f"{value} ms is not an integer number of µs")
+    return int(rounded)
+
+
+def to_ms(value_us: int) -> float:
+    """Convert integer µs back to float milliseconds (for reporting)."""
+    return value_us / US_PER_MS
+
+
+def fmt_ms(value_us: int) -> str:
+    """Format a µs time as a compact millisecond string (``'2.5ms'``)."""
+    v = to_ms(value_us)
+    if v == int(v):
+        return f"{int(v)}ms"
+    return f"{v:g}ms"

@@ -1,0 +1,139 @@
+"""High-level simulation entry points and result records.
+
+:func:`simulate` wires an application sequence, a device configuration and
+a replacement advisor into the :class:`ExecutionManager` and returns a
+:class:`SimulationResult` with the trace and the derived headline metrics
+(reuse rate, reconfiguration overhead vs. the zero-latency ideal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.graphs.task_graph import TaskGraph
+from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
+from repro.sim.manager import ExecutionManager, MobilityTables
+from repro.sim.semantics import ManagerSemantics
+from repro.sim.trace import Trace
+
+
+class _FirstCandidateAdvisor(ReplacementAdvisor):
+    """Trivial advisor: always evict the lowest-index candidate.
+
+    Used internally for zero-latency ideal runs, where the victim choice
+    cannot affect the makespan (loads are free).
+    """
+
+    def decide(self, ctx: DecisionContext) -> Decision:
+        return Decision.load(ctx.candidates[0].index)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated run.
+
+    ``overhead_us`` is the paper's reconfiguration overhead: the makespan
+    increase relative to an ideal execution with zero reconfiguration
+    latency on the same device (S4 barrier semantics included).
+    """
+
+    trace: Trace
+    makespan_us: int
+    ideal_makespan_us: int
+    n_apps: int
+
+    @property
+    def overhead_us(self) -> int:
+        return self.makespan_us - self.ideal_makespan_us
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.trace.reuse_rate()
+
+    @property
+    def reuse_pct(self) -> float:
+        return 100.0 * self.trace.reuse_rate()
+
+    def remaining_overhead_pct(self) -> float:
+        """Percentage of the *original* reconfiguration overhead remaining.
+
+        The paper's Fig. 9c normalises the measured overhead by the
+        overhead the workload would suffer with no reuse and no prefetch:
+        one full latency per executed task.
+        """
+        baseline = self.trace.n_executions * self.trace.reconfig_latency
+        if baseline == 0:
+            return 0.0
+        return 100.0 * self.overhead_us / baseline
+
+    def summary(self) -> Dict[str, object]:
+        out = dict(self.trace.summary())
+        out.update(
+            {
+                "ideal_makespan_us": self.ideal_makespan_us,
+                "overhead_us": self.overhead_us,
+                "overhead_ms": self.overhead_us / 1000.0,
+                "remaining_overhead_pct": round(self.remaining_overhead_pct(), 2),
+                "reuse_pct": round(self.reuse_pct, 2),
+                "n_apps": self.n_apps,
+            }
+        )
+        return out
+
+
+def simulate(
+    graphs: Sequence[TaskGraph],
+    n_rus: int,
+    reconfig_latency: int,
+    advisor: ReplacementAdvisor,
+    semantics: ManagerSemantics = ManagerSemantics(),
+    mobility_tables: Optional[MobilityTables] = None,
+    arrival_times: Optional[Sequence[int]] = None,
+    ideal_makespan_us: Optional[int] = None,
+) -> SimulationResult:
+    """Run the sequence and compute headline metrics.
+
+    ``ideal_makespan_us`` can be supplied to avoid recomputing the
+    zero-latency baseline when sweeping policies over a fixed workload.
+    """
+    manager = ExecutionManager(
+        graphs=graphs,
+        n_rus=n_rus,
+        reconfig_latency=reconfig_latency,
+        advisor=advisor,
+        semantics=semantics,
+        mobility_tables=mobility_tables,
+        arrival_times=arrival_times,
+    )
+    trace = manager.run()
+    if ideal_makespan_us is None:
+        ideal_makespan_us = ideal_makespan(graphs, n_rus)
+    return SimulationResult(
+        trace=trace,
+        makespan_us=trace.makespan,
+        ideal_makespan_us=ideal_makespan_us,
+        n_apps=len(graphs),
+    )
+
+
+def ideal_makespan(graphs: Sequence[TaskGraph], n_rus: int) -> int:
+    """Makespan of the zero-reconfiguration-latency run on the same device.
+
+    Computed by simulation with latency 0 so the result honours the exact
+    same barrier and resource semantics as the measured run.  For devices
+    with at least as many RUs as the widest application this equals the
+    sum of the applications' critical paths (asserted by the test suite).
+    """
+    manager = ExecutionManager(
+        graphs=graphs,
+        n_rus=n_rus,
+        reconfig_latency=0,
+        advisor=_FirstCandidateAdvisor(),
+    )
+    return manager.run().makespan
+
+
+def sum_of_critical_paths(graphs: Sequence[TaskGraph]) -> int:
+    """Closed-form ideal makespan when RUs are not a constraint."""
+    return sum(g.critical_path_length() for g in graphs)

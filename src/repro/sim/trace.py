@@ -1,0 +1,164 @@
+"""Execution traces: the complete, checkable record of one simulation.
+
+Every reconfiguration, reuse, eviction, skip decision and task execution is
+recorded.  Traces feed the metrics (:mod:`repro.metrics`), the Gantt
+renderer (:mod:`repro.sim.gantt`) and the invariant validator
+(:mod:`repro.sim.validation`); the paper's motivational figures are
+asserted directly against trace contents in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.task import ConfigId
+
+
+@dataclass(frozen=True)
+class ReconfigRecord:
+    """One reconfiguration (bitstream load) on the shared circuitry."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+    start: int
+    end: int
+
+    @property
+    def latency(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ReuseRecord:
+    """A configuration was reused (claimed without reconfiguration)."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+    time: int
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """A victim configuration was replaced on an RU."""
+
+    ru: int
+    old_config: ConfigId
+    new_config: ConfigId
+    app_index: int          # application of the incoming task
+    time: int
+
+
+@dataclass(frozen=True)
+class SkipRecord:
+    """The replacement module skipped an event (delayed a reconfiguration).
+
+    ``victim_config`` is the configuration that was spared by the skip.
+    """
+
+    app_index: int
+    config: ConfigId        # the task whose load was delayed
+    victim_config: ConfigId
+    time: int
+    skipped_events_after: int
+
+
+@dataclass(frozen=True)
+class ExecRecord:
+    """One task execution on an RU."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+    start: int
+    end: int
+    reused: bool
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Complete record of one simulation run."""
+
+    n_rus: int
+    reconfig_latency: int
+    reconfigs: List[ReconfigRecord] = field(default_factory=list)
+    reuses: List[ReuseRecord] = field(default_factory=list)
+    evictions: List[EvictionRecord] = field(default_factory=list)
+    skips: List[SkipRecord] = field(default_factory=list)
+    executions: List[ExecRecord] = field(default_factory=list)
+    app_completion_times: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> int:
+        """Completion time of the last application (0 for empty runs)."""
+        ends = [e.end for e in self.executions]
+        return max(ends) if ends else 0
+
+    @property
+    def n_executions(self) -> int:
+        return len(self.executions)
+
+    @property
+    def n_reused_executions(self) -> int:
+        return sum(1 for e in self.executions if e.reused)
+
+    @property
+    def n_reconfigurations(self) -> int:
+        return len(self.reconfigs)
+
+    @property
+    def n_skips(self) -> int:
+        return len(self.skips)
+
+    def reuse_rate(self) -> float:
+        """Reused tasks / executed tasks (paper §VI.A definition)."""
+        if not self.executions:
+            return 0.0
+        return self.n_reused_executions / self.n_executions
+
+    def executions_of_app(self, app_index: int) -> List[ExecRecord]:
+        return [e for e in self.executions if e.app_index == app_index]
+
+    def executions_on_ru(self, ru: int) -> List[ExecRecord]:
+        return sorted(
+            (e for e in self.executions if e.ru == ru), key=lambda e: e.start
+        )
+
+    def reconfigs_on_ru(self, ru: int) -> List[ReconfigRecord]:
+        return sorted(
+            (r for r in self.reconfigs if r.ru == ru), key=lambda r: r.start
+        )
+
+    def busy_time_per_ru(self) -> Dict[int, int]:
+        """Total execution time per RU (µs), for utilisation reporting."""
+        busy = {i: 0 for i in range(self.n_rus)}
+        for e in self.executions:
+            busy[e.ru] += e.duration
+        return busy
+
+    def total_reconfiguration_time(self) -> int:
+        """Sum of all reconfiguration latencies spent (µs)."""
+        return sum(r.latency for r in self.reconfigs)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict used by experiment reports and JSON dumps."""
+        return {
+            "n_rus": self.n_rus,
+            "reconfig_latency_us": self.reconfig_latency,
+            "makespan_us": self.makespan,
+            "executions": self.n_executions,
+            "reused": self.n_reused_executions,
+            "reuse_rate": round(self.reuse_rate(), 4),
+            "reconfigurations": self.n_reconfigurations,
+            "evictions": len(self.evictions),
+            "skips": self.n_skips,
+        }

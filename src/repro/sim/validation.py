@@ -1,0 +1,162 @@
+"""Trace invariant validation.
+
+Every simulation trace must satisfy structural invariants regardless of
+policy or semantics; the property-based tests run every generated trace
+through :func:`validate_trace`.  Violations raise
+:class:`~repro.exceptions.TraceInvariantError` with a precise message.
+
+Invariants checked:
+
+I1. At most one reconfiguration in flight at any time (single circuitry).
+I2. Executions on one RU never overlap; reconfigurations on one RU never
+    overlap executions on the same RU.
+I3. Every non-reused execution is preceded by a completed reconfiguration
+    of the same configuration on the same RU; every reused execution is
+    *not* (since the previous load/execution of that configuration).
+I4. Task dependencies: within an application instance, an execution starts
+    only after all its predecessors' executions ended.
+I5. Application barrier: executions of application *k+1* start at or after
+    the completion of application *k* (S4 semantics).
+I6. Each application instance executes every task exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import TraceInvariantError
+from repro.graphs.task_graph import TaskGraph
+from repro.sim.trace import ExecRecord, Trace
+
+
+def validate_trace(trace: Trace, graphs: Sequence[TaskGraph]) -> None:
+    """Run all invariant checks; raise :class:`TraceInvariantError` on failure."""
+    _check_single_circuitry(trace)
+    _check_ru_occupancy(trace)
+    _check_load_before_execution(trace)
+    _check_dependencies(trace, graphs)
+    _check_app_barrier(trace)
+    _check_completeness(trace, graphs)
+
+
+def _intervals_overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    return a_start < b_end and b_start < a_end
+
+
+def _check_single_circuitry(trace: Trace) -> None:
+    recs = sorted(trace.reconfigs, key=lambda r: r.start)
+    for prev, cur in zip(recs, recs[1:]):
+        if prev.end > cur.start:
+            raise TraceInvariantError(
+                f"I1: overlapping reconfigurations {prev} and {cur}"
+            )
+
+
+def _check_ru_occupancy(trace: Trace) -> None:
+    for ru in range(trace.n_rus):
+        execs = trace.executions_on_ru(ru)
+        for prev, cur in zip(execs, execs[1:]):
+            if prev.end > cur.start:
+                raise TraceInvariantError(
+                    f"I2: RU{ru} executes {prev.config} and {cur.config} simultaneously"
+                )
+        recs = trace.reconfigs_on_ru(ru)
+        for rec in recs:
+            for ex in execs:
+                if _intervals_overlap(rec.start, rec.end, ex.start, ex.end):
+                    raise TraceInvariantError(
+                        f"I2: RU{ru} reconfigures {rec.config} during execution of {ex.config}"
+                    )
+        for prev, cur in zip(recs, recs[1:]):
+            if prev.end > cur.start:
+                raise TraceInvariantError(
+                    f"I2: RU{ru} has overlapping reconfigurations"
+                )
+
+
+def _check_load_before_execution(trace: Trace) -> None:
+    for ex in trace.executions:
+        loads = [
+            r
+            for r in trace.reconfigs_on_ru(ex.ru)
+            if r.config == ex.config and r.end <= ex.start
+        ]
+        uses_between = lambda t0: [  # noqa: E731
+            e
+            for e in trace.executions_on_ru(ex.ru)
+            if e.config == ex.config and t0 <= e.start < ex.start
+        ]
+        if ex.reused:
+            # The configuration must already be present without a fresh
+            # reconfiguration dedicated to this execution: the most recent
+            # event establishing it is an older load or an older execution.
+            established = bool(loads) or bool(
+                [
+                    e
+                    for e in trace.executions_on_ru(ex.ru)
+                    if e.config == ex.config and e.end <= ex.start
+                ]
+            )
+            if not established:
+                raise TraceInvariantError(
+                    f"I3: reused execution {ex} with no prior presence of its config"
+                )
+        else:
+            if not loads:
+                raise TraceInvariantError(
+                    f"I3: execution {ex} has no completed prior load of its config"
+                )
+
+
+def _check_dependencies(trace: Trace, graphs: Sequence[TaskGraph]) -> None:
+    by_app: Dict[int, Dict[int, ExecRecord]] = {}
+    for ex in trace.executions:
+        by_app.setdefault(ex.app_index, {})[ex.config.node_id] = ex
+    for app_index, execs in by_app.items():
+        graph = graphs[app_index]
+        for nid, ex in execs.items():
+            for pred in graph.predecessors(nid):
+                pred_ex = execs.get(pred)
+                if pred_ex is None or pred_ex.end > ex.start:
+                    raise TraceInvariantError(
+                        f"I4: app {app_index}: task {nid} started at {ex.start} "
+                        f"before predecessor {pred} finished"
+                    )
+
+
+def _check_app_barrier(trace: Trace) -> None:
+    app_end: Dict[int, int] = {}
+    app_first_start: Dict[int, int] = {}
+    for ex in trace.executions:
+        app_end[ex.app_index] = max(app_end.get(ex.app_index, 0), ex.end)
+        app_first_start[ex.app_index] = min(
+            app_first_start.get(ex.app_index, ex.start), ex.start
+        )
+    for app_index in sorted(app_first_start):
+        if app_index == 0:
+            continue
+        prev_end = app_end.get(app_index - 1)
+        if prev_end is None:
+            raise TraceInvariantError(
+                f"I5: application {app_index} ran but {app_index - 1} did not"
+            )
+        if app_first_start[app_index] < prev_end:
+            raise TraceInvariantError(
+                f"I5: application {app_index} started at "
+                f"{app_first_start[app_index]} before application "
+                f"{app_index - 1} completed at {prev_end}"
+            )
+
+
+def _check_completeness(trace: Trace, graphs: Sequence[TaskGraph]) -> None:
+    seen: Dict[Tuple[int, int], int] = {}
+    for ex in trace.executions:
+        key = (ex.app_index, ex.config.node_id)
+        seen[key] = seen.get(key, 0) + 1
+    for app_index, graph in enumerate(graphs):
+        for nid in graph.node_ids:
+            count = seen.get((app_index, nid), 0)
+            if count != 1:
+                raise TraceInvariantError(
+                    f"I6: app {app_index} task {nid} executed {count} times"
+                )

@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG helpers, ASCII tables, timing."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import TextTable, format_series
+from repro.util.timing import Stopwatch, measure_best, measure_calls
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "TextTable",
+    "format_series",
+    "Stopwatch",
+    "measure_best",
+    "measure_calls",
+]

@@ -1,0 +1,121 @@
+"""Plain-text table and series formatting for experiment reports.
+
+The experiment harnesses print the same rows/series the paper reports;
+this module renders them as aligned ASCII tables (no third-party
+dependency) so reports are readable in CI logs and benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+class TextTable:
+    """Small, dependency-free ASCII table builder.
+
+    >>> t = TextTable(["policy", "reuse %"])
+    >>> t.add_row(["LRU", 30.06])
+    >>> t.add_row(["LFD", 45.97])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt_cell(v) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+        sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out: List[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append(line(self.headers))
+        out.append(sep)
+        for row in self.rows:
+            out.append(line(row))
+        out.append(sep)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_fmt: str = "{:.2f}",
+) -> str:
+    """Format one figure series as ``name: x=y, x=y, ...``.
+
+    Used to print figure data (e.g. reuse-rate vs #RUs) in a way that can be
+    compared line-by-line with the paper's plots.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = ", ".join(f"{x}={y_fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def format_mapping_table(
+    title: str, mapping: Mapping[str, object], key_header: str = "key", value_header: str = "value"
+) -> str:
+    """Render a flat mapping as a two-column table (for scenario configs)."""
+    table = TextTable([key_header, value_header], title=title)
+    for key, value in mapping.items():
+        table.add_row([key, value])
+    return table.render()
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: Optional[float] = None,
+) -> str:
+    """Tiny horizontal ASCII bar chart used by the examples.
+
+    ``max_value`` pins the scale (otherwise the max of ``values``).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return "(empty chart)"
+    scale = max_value if max_value is not None else max(values)
+    scale = max(scale, 1e-12)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(width * min(value, scale) / scale))
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {value:.2f}")
+    return "\n".join(lines)

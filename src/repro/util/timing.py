@@ -1,0 +1,77 @@
+"""Wall-clock measurement helpers for the Table I / Table II harnesses.
+
+The paper reports worst-case execution times of the replacement module on a
+100 MHz PowerPC.  We measure Python wall time instead; the experiments
+compare *ratios* between policies, which survive the platform change.
+Following the scientific-Python guidance ("no optimization without
+measuring"), measurements repeat the callable and keep the best time to
+suppress scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch (perf_counter based).
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.total_s >= 0.0
+    True
+    """
+
+    total_s: float = 0.0
+    laps: List[float] = field(default_factory=list)
+    _start: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.total_s += lap
+
+    @property
+    def best_s(self) -> float:
+        return min(self.laps) if self.laps else 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / len(self.laps) if self.laps else 0.0
+
+
+def measure_best(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` in seconds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_calls(fn: Callable[[], object], calls: int, repeats: int = 3) -> float:
+    """Best per-call wall time (seconds) of ``fn`` over ``calls`` calls.
+
+    Amortises timer overhead for microsecond-scale callables such as a
+    single replacement decision.
+    """
+    if calls < 1:
+        raise ValueError("calls must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / calls)
+    return best

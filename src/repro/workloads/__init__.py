@@ -1,0 +1,48 @@
+"""Workload generation: random application sequences, named scenarios and
+dynamic arrival models."""
+
+from repro.workloads.arrival import (
+    bursty_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+    saturated_arrivals,
+    validate_arrivals,
+)
+from repro.workloads.sequence import (
+    Workload,
+    bursty_sequence,
+    random_sequence,
+    round_robin_sequence,
+    weighted_sequence,
+)
+from repro.workloads.scenarios import (
+    PAPER_SEED,
+    PAPER_SEQUENCE_LENGTH,
+    adversarial_round_robin_workload,
+    available_scenarios,
+    bursty_workload,
+    make_scenario,
+    paper_evaluation_workload,
+    quick_workload,
+)
+
+__all__ = [
+    "bursty_arrivals",
+    "periodic_arrivals",
+    "poisson_arrivals",
+    "saturated_arrivals",
+    "validate_arrivals",
+    "Workload",
+    "bursty_sequence",
+    "random_sequence",
+    "round_robin_sequence",
+    "weighted_sequence",
+    "PAPER_SEED",
+    "PAPER_SEQUENCE_LENGTH",
+    "adversarial_round_robin_workload",
+    "available_scenarios",
+    "bursty_workload",
+    "make_scenario",
+    "paper_evaluation_workload",
+    "quick_workload",
+]

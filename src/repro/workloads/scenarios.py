@@ -1,0 +1,106 @@
+"""Named, reproducible experiment scenarios.
+
+Each scenario freezes an application sequence and device parameters so
+experiments, benchmarks and the CLI all run literally the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.graphs.multimedia import DEFAULT_RECONFIG_LATENCY_US, benchmark_suite
+from repro.util.rng import SeedLike
+from repro.workloads.sequence import (
+    Workload,
+    bursty_sequence,
+    random_sequence,
+    round_robin_sequence,
+)
+
+#: The paper's evaluation sequence length (§VI: "a sequence of 500
+#: applications randomly selected from our set of benchmarks").
+PAPER_SEQUENCE_LENGTH = 500
+
+#: Seed of the canonical evaluation workload used across experiments.
+PAPER_SEED = 2011  # publication year; any fixed value works
+
+
+def paper_evaluation_workload(
+    n_rus: int = 4,
+    length: int = PAPER_SEQUENCE_LENGTH,
+    seed: SeedLike = PAPER_SEED,
+    reconfig_latency: int = DEFAULT_RECONFIG_LATENCY_US,
+) -> Workload:
+    """The paper's §VI workload: random JPEG/MPEG-1/HOUGH sequence."""
+    catalog = benchmark_suite()
+    return Workload(
+        apps=tuple(random_sequence(catalog, length, seed=seed)),
+        n_rus=n_rus,
+        reconfig_latency=reconfig_latency,
+        name=f"paper-eval-{length}",
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+def quick_workload(
+    n_rus: int = 4,
+    length: int = 60,
+    seed: SeedLike = PAPER_SEED,
+) -> Workload:
+    """Shorter variant of the paper workload for tests and smoke runs."""
+    return paper_evaluation_workload(n_rus=n_rus, length=length, seed=seed)
+
+
+def bursty_workload(
+    n_rus: int = 4,
+    length: int = PAPER_SEQUENCE_LENGTH,
+    burst_len: int = 4,
+    seed: SeedLike = PAPER_SEED,
+) -> Workload:
+    """High-temporal-locality ablation workload."""
+    catalog = benchmark_suite()
+    return Workload(
+        apps=tuple(bursty_sequence(catalog, length, burst_len=burst_len, seed=seed)),
+        n_rus=n_rus,
+        reconfig_latency=DEFAULT_RECONFIG_LATENCY_US,
+        name=f"bursty-{burst_len}-{length}",
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+def adversarial_round_robin_workload(
+    n_rus: int = 4,
+    length: int = PAPER_SEQUENCE_LENGTH,
+) -> Workload:
+    """Cyclic JPEG→MPEG1→HOUGH sequence: minimal short-window locality."""
+    catalog = benchmark_suite()
+    return Workload(
+        apps=tuple(round_robin_sequence(catalog, length)),
+        n_rus=n_rus,
+        reconfig_latency=DEFAULT_RECONFIG_LATENCY_US,
+        name=f"round-robin-{length}",
+    )
+
+
+_SCENARIOS = {
+    "paper-eval": paper_evaluation_workload,
+    "quick": quick_workload,
+    "bursty": bursty_workload,
+    "round-robin": adversarial_round_robin_workload,
+}
+
+
+def available_scenarios() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def make_scenario(name: str, **kwargs) -> Workload:
+    """Instantiate a scenario by name (CLI entry point)."""
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,100 @@
+"""Tests for repro.graphs.analysis."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    analyze,
+    critical_path_nodes,
+    is_transitive_edge,
+    level_map,
+    max_concurrent_tasks,
+    transitive_closure,
+)
+from repro.graphs.builders import chain_graph, fork_join_graph, independent_tasks_graph
+from repro.graphs.task import TaskSpec
+from repro.graphs.task_graph import TaskGraph
+
+
+class TestAnalyze:
+    def test_chain_stats(self):
+        stats = analyze(chain_graph("C", [10, 20, 30]))
+        assert stats.n_tasks == 3
+        assert stats.n_edges == 2
+        assert stats.depth == 2
+        assert stats.max_width == 1
+        assert stats.critical_path_us == 60
+        assert stats.total_exec_us == 60
+        assert stats.parallelism == pytest.approx(1.0)
+
+    def test_parallel_stats(self):
+        stats = analyze(independent_tasks_graph("I", [10, 10, 10]))
+        assert stats.depth == 0
+        assert stats.max_width == 3
+        assert stats.parallelism == pytest.approx(3.0)
+
+    def test_as_row_shape(self):
+        row = analyze(chain_graph("C", [1000])).as_row()
+        assert row[0] == "C"
+        assert len(row) == 8
+
+
+class TestLevelMap:
+    def test_fork_join_levels(self):
+        g = fork_join_graph("FJ", 1, [1, 1], 1)
+        levels = level_map(g)
+        assert levels[1] == 0
+        assert levels[2] == levels[3] == 1
+        assert levels[4] == 2
+
+
+class TestCriticalPathNodes:
+    def test_chain_path(self):
+        g = chain_graph("C", [1, 2, 3])
+        assert critical_path_nodes(g) == [1, 2, 3]
+
+    def test_picks_heavier_branch(self):
+        g = TaskGraph(
+            "G",
+            [TaskSpec(1, 10), TaskSpec(2, 100), TaskSpec(3, 5), TaskSpec(4, 1)],
+            [(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        assert critical_path_nodes(g) == [1, 2, 4]
+
+    def test_path_is_connected(self):
+        g = fork_join_graph("FJ", 2, [3, 9, 4], 1)
+        path = critical_path_nodes(g)
+        for a, b in zip(path, path[1:]):
+            assert b in g.successors(a)
+
+
+class TestTransitiveClosure:
+    def test_chain_closure(self):
+        g = chain_graph("C", [1, 1, 1])
+        closure = transitive_closure(g)
+        assert closure[1] == frozenset({2, 3})
+        assert closure[3] == frozenset()
+
+    def test_transitive_edge_detection(self):
+        g = TaskGraph(
+            "G",
+            [TaskSpec(1, 1), TaskSpec(2, 1), TaskSpec(3, 1)],
+            [(1, 2), (2, 3), (1, 3)],
+        )
+        assert is_transitive_edge(g, 1, 3)
+        assert not is_transitive_edge(g, 1, 2)
+
+
+class TestMaxConcurrency:
+    def test_chain_is_one(self):
+        assert max_concurrent_tasks(chain_graph("C", [5, 5, 5])) == 1
+
+    def test_parallel_counts_all(self):
+        assert max_concurrent_tasks(independent_tasks_graph("I", [5, 5, 5, 5])) == 4
+
+    def test_fork_join_counts_branches(self):
+        assert max_concurrent_tasks(fork_join_graph("FJ", 1, [5, 5, 5], 1)) == 3
+
+    def test_boundary_touch_not_concurrent(self):
+        # 1 finishes exactly when 2 starts: not concurrent.
+        g = TaskGraph("G", [TaskSpec(1, 10), TaskSpec(2, 10)], [(1, 2)])
+        assert max_concurrent_tasks(g) == 1

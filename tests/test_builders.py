@@ -1,0 +1,102 @@
+"""Unit tests for repro.graphs.builders."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import (
+    TaskGraphBuilder,
+    chain_graph,
+    diamond_graph,
+    fork_graph,
+    fork_join_graph,
+    independent_tasks_graph,
+    join_graph,
+    layered_graph,
+)
+
+
+class TestBuilder:
+    def test_fluent_build(self):
+        g = (
+            TaskGraphBuilder("B")
+            .add_task(1, 10)
+            .add_task(2, 20)
+            .add_edge(1, 2)
+            .build()
+        )
+        assert len(g) == 2
+        assert g.successors(1) == (2,)
+
+    def test_add_tasks_mapping(self):
+        g = TaskGraphBuilder("B").add_tasks({2: 5, 1: 10}).build()
+        assert g.task(1).exec_time == 10
+        assert g.task(2).exec_time == 5
+
+    def test_add_chain_edges(self):
+        g = TaskGraphBuilder("B").add_tasks({1: 1, 2: 1, 3: 1}).add_chain([1, 2, 3]).build()
+        assert g.predecessors(3) == (2,)
+
+
+class TestShapes:
+    def test_chain(self):
+        g = chain_graph("C", [10, 20, 30])
+        assert g.critical_path_length() == 60
+        assert g.sources() == (1,)
+        assert g.sinks() == (3,)
+
+    def test_chain_first_id(self):
+        g = chain_graph("C", [10, 20], first_id=4)
+        assert set(g.node_ids) == {4, 5}
+        assert g.successors(4) == (5,)
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(GraphError):
+            chain_graph("C", [])
+
+    def test_fork_join(self):
+        g = fork_join_graph("FJ", 10, [20, 30], 5)
+        assert len(g) == 4
+        assert g.critical_path_length() == 10 + 30 + 5
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_fork_join_needs_branches(self):
+        with pytest.raises(GraphError):
+            fork_join_graph("FJ", 10, [], 5)
+
+    def test_join(self):
+        g = join_graph("J", [10, 20], 5)
+        assert g.sources() == (1, 2)
+        assert g.critical_path_length() == 25
+
+    def test_fork(self):
+        g = fork_graph("F", 10, [1, 2, 3])
+        assert g.sources() == (1,)
+        assert len(g.sinks()) == 3
+
+    def test_diamond(self):
+        g = diamond_graph("D", [1, 2, 3, 4])
+        assert len(g) == 4
+        assert g.critical_path_length() == 1 + 3 + 4
+
+    def test_diamond_needs_four_times(self):
+        with pytest.raises(GraphError):
+            diamond_graph("D", [1, 2, 3])
+
+    def test_independent(self):
+        g = independent_tasks_graph("I", [5, 6, 7])
+        assert g.edges == frozenset()
+        assert g.critical_path_length() == 7
+
+    def test_layered_dense(self):
+        g = layered_graph("L", [[1, 1], [2, 2]], dense=True)
+        assert len(g.edges) == 4
+        assert len(g.sources()) == 2
+
+    def test_layered_sparse(self):
+        g = layered_graph("L", [[1, 1], [2, 2]], dense=False)
+        assert len(g.edges) == 2
+
+    def test_layered_rejects_empty_layer(self):
+        with pytest.raises(GraphError):
+            layered_graph("L", [[1], []])

@@ -1,0 +1,68 @@
+"""Tests for the calibration harness: the frozen fixtures must be among
+the exact matches the search re-derives."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    FIG2_TARGETS,
+    FIG3_ASAP,
+    FIG3_SKIP,
+    FIG7_TARGETS,
+    Fig2Candidate,
+    calibrate_fig2,
+    evaluate_fig2,
+    evaluate_fig3,
+    evaluate_fig7,
+)
+from repro.experiments.motivational import (
+    fig2_task_graph_1,
+    fig2_task_graph_2,
+    fig3_task_graph_1,
+    fig3_task_graph_2,
+)
+from repro.sim.semantics import CrossAppPrefetch
+
+
+class TestFrozenFixturesMatch:
+    """The frozen motivational fixtures reproduce every paper number."""
+
+    def test_fig2_fixture_hits_targets(self):
+        candidate = Fig2Candidate(
+            tg1_edges=((1, 2), (2, 3)),
+            tg1_times_ms=(2.5, 2.5, 4.0),
+            tg2_edges=((4, 5),),
+            tg2_times_ms=(4.0, 4.0),
+            cross_app=CrossAppPrefetch.ISOLATED,
+        )
+        assert evaluate_fig2(candidate) == FIG2_TARGETS
+
+    def test_fig7_fixture_hits_targets(self):
+        assert evaluate_fig7(fig3_task_graph_2()) == FIG7_TARGETS
+
+    def test_fig3_fixture_hits_targets(self):
+        measured = evaluate_fig3(fig3_task_graph_1(), fig3_task_graph_2())
+        assert measured == {"asap": FIG3_ASAP, "skip": FIG3_SKIP}
+
+
+class TestSearchFindsFixture:
+    """The (slower) searches re-derive the frozen configuration."""
+
+    @pytest.mark.slow
+    def test_fig2_search_contains_chain_isolated(self):
+        matches = calibrate_fig2(max_results=5)
+        assert matches, "no Fig. 2 match found"
+        assert any(
+            m.tg1_edges == ((1, 2), (2, 3))
+            and m.cross_app is CrossAppPrefetch.ISOLATED
+            for m in matches
+        )
+
+    def test_fixture_graphs_are_consistent(self):
+        # The Fig. 2 graphs: 12 tasks over the 5-app sequence; ideal 42 ms.
+        tg1, tg2 = fig2_task_graph_1(), fig2_task_graph_2()
+        assert tg1.critical_path_length() == 9000
+        assert tg2.critical_path_length() == 8000
+        # Paper overheads are consistent with these ideals:
+        # LRU 64-42=22, LFD 53-42=11, LocalLFD 57-42=15 (ms).
+        ideal_ms = (2 * tg1.critical_path_length() + 3 * tg2.critical_path_length()) / 1000
+        assert ideal_ms == 42.0

@@ -1,0 +1,85 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.length == 500
+        assert args.scenario == "paper-eval"
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "JPEG" in out and "Fig. 1(b)" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "22" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Skip Events" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        assert "mobilities" in capsys.readouterr().out
+
+    def test_fig9a_small(self, capsys):
+        assert main(["fig9a", "--length", "15", "--rus", "4", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Local LFD (4)" in out and "Avg." in out
+
+    def test_fig9b_small(self, capsys):
+        assert main(["fig9b", "--length", "15", "--rus", "4"]) == 0
+        assert "Skip" in capsys.readouterr().out
+
+    def test_fig9c_small(self, capsys):
+        assert main(["fig9c", "--length", "15", "--rus", "4"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_scenario_option(self, capsys):
+        assert main(["fig9a", "--length", "12", "--rus", "4", "--scenario", "bursty"]) == 0
+        assert "LFD" in capsys.readouterr().out
+
+    def test_seed_option(self, capsys):
+        assert main(["fig9a", "--length", "12", "--rus", "4", "--seed", "99"]) == 0
+        capsys.readouterr()
+
+    def test_hybrid(self, capsys):
+        assert main(["hybrid"]) == 0
+        assert "speed-up" in capsys.readouterr().out
+
+    def test_export_csv(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert main(
+            ["fig9a", "--length", "10", "--rus", "4", "--export-csv", str(path)]
+        ) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert text.startswith("policy_label,")
+        from repro.experiments.export import sweep_from_csv
+
+        records = sweep_from_csv(text)
+        assert {r.policy_label for r in records} >= {"LRU", "LFD"}
+
+    def test_sensitivity_command(self, capsys):
+        assert main(
+            ["sensitivity", "--length", "15", "--seeds", "1", "2", "--rus", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Seed sensitivity" in out and "beats LFD" in out

@@ -1,0 +1,72 @@
+"""Tests for the Dynamic List model (paper Fig. 1)."""
+
+import pytest
+
+from repro.core.dynamic_list import DynamicList, replay_fig1
+from repro.exceptions import WorkloadError
+
+
+class TestDynamicList:
+    def test_fifo_order(self):
+        dl = DynamicList.from_names(["A", "B"])
+        dl.enqueue("C")
+        assert dl.snapshot() == ["A", "B", "C"]
+
+    def test_head(self):
+        dl = DynamicList.from_names(["A", "B"])
+        assert dl.head() == "A"
+
+    def test_head_empty(self):
+        assert DynamicList().head() is None
+
+    def test_window_excludes_head(self):
+        dl = DynamicList.from_names(["A", "B", "C", "D"])
+        assert dl.window(2) == ["B", "C"]
+        assert dl.window(0) == []
+        assert dl.window(99) == ["B", "C", "D"]
+
+    def test_window_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            DynamicList().window(-1)
+
+    def test_complete_head_with_arrivals(self):
+        dl = DynamicList.from_names(["A", "B"])
+        done = dl.complete_head(arrivals=["C", "C"])
+        assert done == "A"
+        assert dl.snapshot() == ["B", "C", "C"]
+
+    def test_complete_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            DynamicList().complete_head()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            DynamicList().enqueue("")
+
+    def test_history_recorded(self):
+        dl = DynamicList.from_names(["A", "B"])
+        dl.complete_head()
+        assert dl.history == [("A", ("B",))]
+
+    def test_len_and_bool(self):
+        dl = DynamicList()
+        assert not dl and len(dl) == 0
+        dl.enqueue("A")
+        assert dl and len(dl) == 1
+
+
+class TestFig1Replay:
+    """The paper's Fig. 1 walk-through, snapshot by snapshot."""
+
+    def test_snapshots(self):
+        snapshots = replay_fig1()
+        assert snapshots[0] == ["JPEG", "MPEG1", "HOUGH"]
+        assert snapshots[1] == ["MPEG1", "HOUGH", "MPEG1", "MPEG1"]
+        assert snapshots[2] == ["HOUGH", "MPEG1", "MPEG1"]
+
+    def test_scheduler_knows_3_of_5_initially(self):
+        # "the scheduler only knows 3 out of the whole sequence of 5
+        # applications that will be executed"
+        snapshots = replay_fig1()
+        total_executed = 5  # JPEG + 3x MPEG1 + HOUGH in the full walk
+        assert len(snapshots[0]) == 3 < total_executed

@@ -1,0 +1,201 @@
+"""Tests for the experiment harnesses (fig9, tables, hybrid, ablation).
+
+These use short workloads so the suite stays fast; the shape assertions
+mirror the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_latency_sweep,
+    run_policy_zoo,
+    run_semantics_ablation,
+    run_skip_mode_ablation,
+    run_window_sweep,
+    render_ablation_rows,
+)
+from repro.experiments.fig9 import (
+    fig9a_specs,
+    fig9b_specs,
+    fig9c_specs,
+    run_fig9a,
+    run_fig9b,
+    run_policy_sweep,
+)
+from repro.experiments.hybrid_speedup import run_hybrid_speedup
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.table2 import run_table2, render_table2
+from repro.workloads.scenarios import paper_evaluation_workload
+
+RU_SUBSET = (4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return paper_evaluation_workload(length=40)
+
+
+class TestFig9Sweeps:
+    @pytest.fixture(scope="class")
+    def sweep_a(self, request):
+        w = paper_evaluation_workload(length=40)
+        return run_fig9a(w, ru_counts=RU_SUBSET)
+
+    def test_all_cells_present(self, sweep_a):
+        assert len(sweep_a.records) == len(fig9a_specs()) * len(RU_SUBSET)
+
+    def test_lfd_reuse_at_least_lru(self, sweep_a):
+        for n in RU_SUBSET:
+            assert (
+                sweep_a.cell("LFD", n).reuse_pct
+                >= sweep_a.cell("LRU", n).reuse_pct
+            )
+
+    def test_window_monotone_towards_lfd(self, sweep_a):
+        # Local LFD (4) must be at least as good as Local LFD (1) on average.
+        assert sweep_a.average("Local LFD (4)", "reuse_pct") >= sweep_a.average(
+            "Local LFD (1)", "reuse_pct"
+        ) - 1e-9
+
+    def test_reuse_grows_with_rus_for_lfd(self, sweep_a):
+        series = sweep_a.series("LFD", "reuse_pct")
+        assert series == sorted(series)
+
+    def test_render_contains_all_policies(self, sweep_a):
+        text = sweep_a.render_table("reuse_pct", "reuse")
+        for spec in fig9a_specs():
+            assert spec.label in text
+
+
+class TestFig9bCrossover:
+    def test_skip_events_beat_lfd_on_reuse(self, small_workload):
+        """The paper's headline: Local LFD(1)+Skip outperforms LFD reuse."""
+        sweep = run_fig9b(small_workload, ru_counts=RU_SUBSET)
+        skip_avg = sweep.average("Local LFD (1) + Skip", "reuse_pct")
+        lfd_avg = sweep.average("LFD", "reuse_pct")
+        assert skip_avg > lfd_avg
+
+    def test_skip_events_beat_plain_local_lfd(self, small_workload):
+        sweep = run_fig9b(small_workload, ru_counts=RU_SUBSET)
+        assert sweep.average("Local LFD (1) + Skip", "reuse_pct") > sweep.average(
+            "Local LFD (1)", "reuse_pct"
+        )
+
+    def test_specs_cover_paper_lines(self):
+        labels = [s.label for s in fig9b_specs()]
+        assert labels == ["LRU", "Local LFD (1)", "Local LFD (1) + Skip", "LFD"]
+
+
+class TestFig9cSpecs:
+    def test_specs_cover_paper_lines(self):
+        labels = [s.label for s in fig9c_specs()]
+        assert "Local LFD (4) + Skip" in labels and "LFD" in labels
+
+    def test_remaining_overhead_decreases_with_rus(self, small_workload):
+        sweep = run_policy_sweep(
+            [fig9c_specs()[-1]], "t", small_workload, ru_counts=(4, 8)
+        )
+        assert (
+            sweep.cell("LFD", 8).remaining_overhead_pct
+            <= sweep.cell("LFD", 4).remaining_overhead_pct
+        )
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(sequence_length=200, calls=200, repeats=1)
+
+    def test_has_five_strategies(self, rows):
+        assert len(rows) == 5
+
+    def test_lru_fastest(self, rows):
+        lru = next(r for r in rows if r.label == "LRU")
+        assert all(lru.mean_decision_us <= r.mean_decision_us for r in rows)
+
+    def test_lfd_slowest(self, rows):
+        lfd = next(r for r in rows if r.label == "LFD")
+        assert all(lfd.mean_decision_us >= r.mean_decision_us for r in rows)
+
+    def test_lfd_orders_of_magnitude_above_local(self, rows):
+        lfd = next(r for r in rows if r.label == "LFD")
+        local1 = next(r for r in rows if r.label.startswith("Local LFD (1)"))
+        assert lfd.mean_decision_us / local1.mean_decision_us > 10
+
+    def test_local_windows_scale(self, rows):
+        l1 = next(r for r in rows if "(1)" in r.label)
+        l4 = next(r for r in rows if "(4)" in r.label)
+        assert l4.refs_scanned > l1.refs_scanned
+
+    def test_render(self, rows):
+        text = render_table1(rows)
+        assert "Table I" in text and "LFD" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(decision_calls=200)
+
+    def test_covers_three_benchmarks(self, rows):
+        assert [r.app for r in rows] == ["JPEG", "MPEG1", "HOUGH"]
+
+    def test_initial_exec_matches_paper(self, rows):
+        assert {r.app: r.initial_exec_ms for r in rows} == {
+            "JPEG": 79.0,
+            "MPEG1": 37.0,
+            "HOUGH": 94.0,
+        }
+
+    def test_module_overhead_small(self, rows):
+        # The paper's claim: the replacement module is negligible
+        # (< ~1 % of application execution time).
+        for row in rows:
+            assert row.overhead_pct < 5.0
+
+    def test_design_time_dominates_runtime(self, rows):
+        for row in rows:
+            assert row.design_over_runtime > 10
+
+    def test_render_contains_paper_reference(self, rows):
+        text = render_table2(rows)
+        assert "PowerPC" in text and "JPEG" in text
+
+
+class TestHybridSpeedup:
+    def test_speedup_at_least_10x(self):
+        result = run_hybrid_speedup(calls_hybrid=200, calls_runtime=5)
+        assert result.speedup >= 10.0
+
+    def test_design_time_recorded(self):
+        result = run_hybrid_speedup(calls_hybrid=50, calls_runtime=2)
+        assert result.design_time_ms > 0
+
+
+class TestAblations:
+    def test_window_sweep_monotone_avg(self, small_workload):
+        rows = run_window_sweep(small_workload, windows=(0, 4))
+        by_label = {r.label: r for r in rows}
+        assert by_label["Local LFD (4)"].reuse_pct >= by_label["Local LFD (0)"].reuse_pct
+
+    def test_semantics_ablation_has_all_modes(self, small_workload):
+        labels = [r.label for r in run_semantics_ablation(small_workload)]
+        assert len(labels) == 3
+
+    def test_skip_modes(self, small_workload):
+        rows = run_skip_mode_ablation(small_workload)
+        by_label = {r.label: r for r in rows}
+        assert by_label["skip mode: literal"].reuse_pct >= by_label["no skips (ASAP)"].reuse_pct
+
+    def test_policy_zoo_lfd_wins(self, small_workload):
+        rows = run_policy_zoo(small_workload)
+        by_label = {r.label: r for r in rows}
+        assert by_label["LFD"].reuse_pct == max(r.reuse_pct for r in rows)
+
+    def test_latency_sweep_rows(self, small_workload):
+        rows = run_latency_sweep(small_workload, latencies_us=(1000, 8000))
+        assert len(rows) == 4
+
+    def test_render(self, small_workload):
+        text = render_ablation_rows("t", run_policy_zoo(small_workload))
+        assert "LFD" in text

@@ -1,0 +1,125 @@
+"""Integration tests asserting the paper's motivational figures EXACTLY.
+
+These are the strongest correctness anchors of the reproduction: the
+calibrated task graphs plus the default manager semantics must reproduce
+every number in Figs. 2, 3 and 7 of the paper.
+"""
+
+import pytest
+
+from repro.experiments.motivational import (
+    RECONFIG_LATENCY,
+    N_RUS,
+    fig2_sequence,
+    fig3_sequence,
+    render_fig2_report,
+    render_fig3_report,
+    render_fig7_report,
+    run_fig2,
+    run_fig3,
+    run_fig7,
+)
+from repro.sim.validation import validate_trace
+
+
+class TestFig2:
+    """Paper: LRU 16.7 % / 22 ms; LFD 41.7 % / 11 ms; Local LFD 41.7 % / 15 ms."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.label: row for row in run_fig2()}
+
+    def test_lru_reuse(self, rows):
+        assert rows["LRU"].reuse_pct == pytest.approx(16.7, abs=0.05)
+
+    def test_lru_overhead(self, rows):
+        assert rows["LRU"].overhead_ms == 22.0
+
+    def test_lfd_reuse_is_optimal(self, rows):
+        assert rows["LFD"].reuse_pct == pytest.approx(41.7, abs=0.05)
+
+    def test_lfd_overhead(self, rows):
+        assert rows["LFD"].overhead_ms == 11.0
+
+    def test_local_lfd_reuse_matches_optimal(self, rows):
+        assert rows["Local LFD (1)"].reuse_pct == pytest.approx(41.7, abs=0.05)
+
+    def test_local_lfd_overhead(self, rows):
+        assert rows["Local LFD (1)"].overhead_ms == 15.0
+
+    def test_every_row_flags_match(self, rows):
+        for row in rows.values():
+            assert row.reuse_matches, row
+            assert row.overhead_matches, row
+
+    def test_sequence_has_12_tasks(self):
+        assert sum(len(g) for g in fig2_sequence()) == 12
+
+
+class TestFig3:
+    """Paper: ASAP 0 % / 12 ms / 74 ms; Skip 10 % / 8 ms / 70 ms."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.label: row for row in run_fig3()}
+
+    def test_asap_reuse_is_zero(self, rows):
+        assert rows["Local LFD ASAP"].reuse_pct == 0.0
+
+    def test_asap_overhead(self, rows):
+        assert rows["Local LFD ASAP"].overhead_ms == 12.0
+
+    def test_asap_makespan(self, rows):
+        assert rows["Local LFD ASAP"].makespan_ms == 74.0
+
+    def test_skip_reuse(self, rows):
+        assert rows["Local LFD + Skip Events"].reuse_pct == pytest.approx(10.0)
+
+    def test_skip_overhead(self, rows):
+        assert rows["Local LFD + Skip Events"].overhead_ms == 8.0
+
+    def test_skip_makespan(self, rows):
+        assert rows["Local LFD + Skip Events"].makespan_ms == 70.0
+
+    def test_sequence_has_10_tasks(self):
+        assert sum(len(g) for g in fig3_sequence()) == 10
+
+
+class TestFig7:
+    """Paper: reference 30; delays 36 / 32 / 30 / 32; mobilities 0,0,0,1."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7()
+
+    def test_reference(self, result):
+        assert result.reference_makespan_ms == 30.0
+
+    def test_delay5(self, result):
+        assert result.delay5_makespan_ms == 36.0
+
+    def test_delay6(self, result):
+        assert result.delay6_makespan_ms == 32.0
+
+    def test_delay7_once_free(self, result):
+        assert result.delay7_once_makespan_ms == 30.0
+
+    def test_delay7_twice(self, result):
+        assert result.delay7_twice_makespan_ms == 32.0
+
+    def test_mobilities(self, result):
+        assert dict(result.mobilities) == {4: 0, 5: 0, 6: 0, 7: 1}
+
+
+class TestReports:
+    def test_fig2_report_renders(self):
+        text = render_fig2_report()
+        assert "LRU" in text and "16.7" in text and "22" in text
+
+    def test_fig3_report_renders(self):
+        text = render_fig3_report()
+        assert "Skip Events" in text and "70" in text
+
+    def test_fig7_report_renders(self):
+        text = render_fig7_report()
+        assert "30" in text and "mobilities" in text

@@ -1,0 +1,80 @@
+"""Tests for the synthesized multimedia benchmark suite (paper §VI)."""
+
+import pytest
+
+from repro.graphs.analysis import max_concurrent_tasks
+from repro.graphs.multimedia import (
+    DEFAULT_RECONFIG_LATENCY_US,
+    PAPER_INITIAL_EXEC_MS,
+    benchmark_by_name,
+    benchmark_suite,
+    hough_transform,
+    jpeg_decoder,
+    mpeg1_encoder,
+    total_distinct_configurations,
+)
+
+
+class TestNodeCounts:
+    """The paper states the benchmark sizes explicitly (§VI)."""
+
+    def test_jpeg_has_4_nodes(self):
+        assert len(jpeg_decoder()) == 4
+
+    def test_mpeg1_has_5_nodes(self):
+        assert len(mpeg1_encoder()) == 5
+
+    def test_hough_has_6_nodes(self):
+        assert len(hough_transform()) == 6
+
+    def test_total_configurations_is_15(self):
+        # "15 different tasks compete for just 4 reconfigurable units"
+        assert total_distinct_configurations() == 15
+
+
+class TestInitialExecutionTimes:
+    """Ideal makespans must match the paper's Table II column 2."""
+
+    @pytest.mark.parametrize("name", ["JPEG", "MPEG1", "HOUGH"])
+    def test_critical_path_matches_paper(self, name):
+        graph = benchmark_by_name(name)
+        assert graph.critical_path_length() == PAPER_INITIAL_EXEC_MS[name] * 1000
+
+
+class TestStructure:
+    def test_all_graphs_fit_on_4_rus(self):
+        # The paper sweeps 4..10 RUs; the barrier model requires max
+        # intra-app concurrency <= 4.
+        for graph in benchmark_suite():
+            assert max_concurrent_tasks(graph) <= 4
+
+    def test_distinct_names(self):
+        names = [g.name for g in benchmark_suite()]
+        assert len(set(names)) == 3
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert benchmark_by_name("jpeg").name == "JPEG"
+        assert benchmark_by_name("Mpeg1").name == "MPEG1"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("H264")
+
+    def test_default_latency_is_4ms(self):
+        assert DEFAULT_RECONFIG_LATENCY_US == 4000
+
+    def test_suite_returns_fresh_equal_graphs(self):
+        a, b = benchmark_suite(), benchmark_suite()
+        assert [g.name for g in a] == [g.name for g in b]
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_hough_has_parallel_votes(self):
+        hough = hough_transform()
+        # Three vote tasks share the same predecessor (edge_detect).
+        assert hough.successors(2) == (3, 4, 5)
+
+    def test_jpeg_is_pipeline(self):
+        jpeg = jpeg_decoder()
+        assert jpeg.sources() == (1,)
+        assert jpeg.sinks() == (4,)
+        assert all(len(jpeg.predecessors(n)) <= 1 for n in jpeg.node_ids)

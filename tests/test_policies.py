@@ -1,0 +1,171 @@
+"""Unit tests for the replacement policies (no simulator needed)."""
+
+import math
+
+import pytest
+
+from repro.core.policies.base import argbest, forward_distance
+from repro.core.policies.classic import FIFOPolicy, LRUPolicy, MRUPolicy, RandomPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy, local_lfd_name
+from repro.core.policies.registry import available_policies, make_policy, register_policy
+from repro.exceptions import PolicyError
+from repro.graphs.task import ConfigId, TaskInstance
+from repro.sim.interface import DecisionContext
+from repro.sim.ru import RUState, RUView
+
+
+def view(index, name="G", node=0, last_use=0, load_end=0):
+    return RUView(
+        index=index,
+        config=ConfigId(name, node),
+        state=RUState.LOADED,
+        last_use=last_use,
+        load_end=load_end,
+    )
+
+
+def ctx(candidates, future=(), oracle=None):
+    return DecisionContext(
+        now=0,
+        incoming=TaskInstance(app_index=0, config=ConfigId("X", 99), exec_time=1),
+        candidates=tuple(candidates),
+        future_refs=tuple(future),
+        oracle_refs=tuple(oracle) if oracle is not None else None,
+        dl_configs=frozenset(future),
+        busy_configs=frozenset(),
+        mobility=0,
+        skipped_events=0,
+    )
+
+
+class TestForwardDistance:
+    def test_first_occurrence(self):
+        refs = [ConfigId("A", 1), ConfigId("A", 2), ConfigId("A", 1)]
+        assert forward_distance(ConfigId("A", 1), refs) == 0.0
+        assert forward_distance(ConfigId("A", 2), refs) == 1.0
+
+    def test_missing_is_infinite(self):
+        assert forward_distance(ConfigId("A", 9), []) == math.inf
+
+    def test_none_is_infinite(self):
+        assert forward_distance(None, [ConfigId("A", 1)]) == math.inf
+
+
+class TestArgbest:
+    def test_ties_break_to_lowest_index(self):
+        candidates = (view(0, last_use=5), view(1, last_use=5), view(2, last_use=5))
+        assert argbest(candidates, key=lambda v: v.last_use, prefer_max=False).index == 0
+        assert argbest(candidates, key=lambda v: v.last_use, prefer_max=True).index == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(PolicyError):
+            argbest((), key=lambda v: 0, prefer_max=True)
+
+
+class TestLRU:
+    def test_picks_oldest_use(self):
+        candidates = (view(0, last_use=30), view(1, last_use=10), view(2, last_use=20))
+        assert LRUPolicy().select_victim(ctx(candidates)) == 1
+
+    def test_tie_breaks_to_lowest_ru(self):
+        candidates = (view(0, last_use=10), view(1, last_use=10))
+        assert LRUPolicy().select_victim(ctx(candidates)) == 0
+
+
+class TestMRUAndFIFO:
+    def test_mru_picks_newest_use(self):
+        candidates = (view(0, last_use=30), view(1, last_use=10))
+        assert MRUPolicy().select_victim(ctx(candidates)) == 0
+
+    def test_fifo_picks_oldest_load(self):
+        candidates = (view(0, load_end=50, last_use=1), view(1, load_end=5, last_use=99))
+        assert FIFOPolicy().select_victim(ctx(candidates)) == 1
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        candidates = tuple(view(i, node=i) for i in range(4))
+        a = RandomPolicy(seed=3)
+        b = RandomPolicy(seed=3)
+        picks_a = [a.select_victim(ctx(candidates)) for _ in range(20)]
+        picks_b = [b.select_victim(ctx(candidates)) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_reset_restarts_stream(self):
+        candidates = tuple(view(i, node=i) for i in range(4))
+        p = RandomPolicy(seed=3)
+        first = [p.select_victim(ctx(candidates)) for _ in range(10)]
+        p.reset()
+        second = [p.select_victim(ctx(candidates)) for _ in range(10)]
+        assert first == second
+
+    def test_victim_always_a_candidate(self):
+        candidates = tuple(view(i, node=i) for i in range(3))
+        p = RandomPolicy(seed=0)
+        for _ in range(50):
+            assert p.select_victim(ctx(candidates)) in (0, 1, 2)
+
+
+class TestLFD:
+    def test_needs_oracle(self):
+        with pytest.raises(PolicyError, match="oracle"):
+            LFDPolicy().select_victim(ctx((view(0),)))
+
+    def test_picks_farthest_future_use(self):
+        a, b, c = ConfigId("G", 0), ConfigId("G", 1), ConfigId("G", 2)
+        candidates = (view(0, node=0), view(1, node=1), view(2, node=2))
+        # next uses: a at 0, b at 2, c at 1 -> evict b.
+        assert LFDPolicy().select_victim(ctx(candidates, oracle=[a, c, b])) == 1
+
+    def test_never_used_again_preferred(self):
+        a, b = ConfigId("G", 0), ConfigId("G", 1)
+        candidates = (view(0, node=0), view(1, node=1))
+        assert LFDPolicy().select_victim(ctx(candidates, oracle=[a])) == 1
+
+    def test_all_unused_ties_to_first_ru(self):
+        candidates = (view(0, node=0), view(1, node=1))
+        assert LFDPolicy().select_victim(ctx(candidates, oracle=[])) == 0
+
+
+class TestLocalLFD:
+    def test_uses_window_not_oracle(self):
+        a, b = ConfigId("G", 0), ConfigId("G", 1)
+        candidates = (view(0, node=0), view(1, node=1))
+        # Window says b is used sooner; oracle (ignored) says the opposite.
+        choice = LocalLFDPolicy().select_victim(
+            ctx(candidates, future=[b, a], oracle=[a, b])
+        )
+        assert choice == 0  # a is farther inside the window
+
+    def test_paper_tie_behaviour(self):
+        # Fig. 2c: all candidates outside DL -> "first candidate it finds".
+        candidates = (view(0, node=0), view(1, node=1), view(2, node=2))
+        assert LocalLFDPolicy().select_victim(ctx(candidates, future=[])) == 0
+
+    def test_name_helper(self):
+        assert local_lfd_name(2) == "Local LFD (2)"
+        assert local_lfd_name(4, skip_events=True) == "Local LFD (4) + Skip"
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert {"lru", "mru", "fifo", "random", "lfd", "local-lfd"} <= set(
+            available_policies()
+        )
+
+    def test_make_policy_case_insensitive(self):
+        assert make_policy("LRU").name == "LRU"
+        assert make_policy("local-LFD").name == "LocalLFD"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(PolicyError):
+            make_policy("belady9000")
+
+    def test_register_custom_and_duplicate(self):
+        class Custom(LRUPolicy):
+            name = "custom-test"
+
+        register_policy("custom-test-policy", Custom)
+        assert make_policy("custom-test-policy").name == "custom-test"
+        with pytest.raises(PolicyError):
+            register_policy("custom-test-policy", Custom)

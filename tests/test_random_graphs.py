@@ -1,0 +1,105 @@
+"""Tests for the random task-graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.analysis import level_map
+from repro.graphs.random_graphs import (
+    random_benchmark_like_suite,
+    random_erdos_dag,
+    random_exec_times,
+    random_layered_graph,
+)
+from repro.util.rng import make_rng
+
+
+class TestRandomExecTimes:
+    def test_range_respected(self):
+        times = random_exec_times(make_rng(0), 100, low_us=5, high_us=9)
+        assert all(5 <= t <= 9 for t in times)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(GraphError):
+            random_exec_times(make_rng(0), 3, low_us=10, high_us=5)
+        with pytest.raises(GraphError):
+            random_exec_times(make_rng(0), 3, low_us=0, high_us=5)
+
+
+class TestLayeredGenerator:
+    def test_deterministic(self):
+        a = random_layered_graph("G", 12, seed=42)
+        b = random_layered_graph("G", 12, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_layered_graph("G", 12, seed=1)
+        b = random_layered_graph("G", 12, seed=2)
+        assert a != b
+
+    def test_node_count(self):
+        for n in (1, 2, 7, 20):
+            assert len(random_layered_graph("G", n, seed=0)) == n
+
+    def test_every_non_source_has_predecessor(self):
+        g = random_layered_graph("G", 15, seed=3)
+        levels = level_map(g)
+        for nid in g.node_ids:
+            if levels[nid] > 0:
+                assert g.predecessors(nid)
+
+    def test_width_bounded(self):
+        g = random_layered_graph("G", 30, seed=5, max_width=2)
+        levels = level_map(g)
+        from collections import Counter
+
+        assert max(Counter(levels.values()).values()) <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_layered_graph("G", 0, seed=0)
+        with pytest.raises(GraphError):
+            random_layered_graph("G", 5, seed=0, edge_density=1.5)
+        with pytest.raises(GraphError):
+            random_layered_graph("G", 5, seed=0, max_width=0)
+
+
+class TestErdosGenerator:
+    def test_acyclic_by_construction(self):
+        # TaskGraph would raise CycleError otherwise; build many.
+        for seed in range(10):
+            g = random_erdos_dag("G", 10, seed=seed, edge_prob=0.5)
+            assert len(g) == 10
+
+    def test_edge_prob_extremes(self):
+        empty = random_erdos_dag("G", 8, seed=1, edge_prob=0.0)
+        assert len(empty.edges) == 0
+        full = random_erdos_dag("G", 8, seed=1, edge_prob=1.0)
+        assert len(full.edges) == 8 * 7 // 2
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_erdos_dag("G", 0, seed=0)
+        with pytest.raises(GraphError):
+            random_erdos_dag("G", 5, seed=0, edge_prob=-0.1)
+
+
+class TestBenchmarkLikeSuite:
+    def test_sizes_in_range(self):
+        suite = random_benchmark_like_suite(10, seed=0, size_range=(4, 6))
+        assert len(suite) == 10
+        assert all(4 <= len(g) <= 6 for g in suite)
+
+    def test_unique_names(self):
+        suite = random_benchmark_like_suite(5, seed=0)
+        assert len({g.name for g in suite}) == 5
+
+    def test_deterministic(self):
+        a = random_benchmark_like_suite(4, seed=9)
+        b = random_benchmark_like_suite(4, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            random_benchmark_like_suite(0, seed=0)
+        with pytest.raises(GraphError):
+            random_benchmark_like_suite(3, seed=0, size_range=(5, 2))

@@ -1,0 +1,139 @@
+"""Tests for the RU state machine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.graphs.task import ConfigId, TaskInstance
+from repro.sim.ru import RU, RUState
+
+
+def inst(node=1, app=0, name="G"):
+    return TaskInstance(app_index=app, config=ConfigId(name, node), exec_time=100)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        ru = RU(0)
+        assert ru.state is RUState.EMPTY
+        assert ru.is_free
+        assert not ru.is_candidate
+
+    def test_load_then_execute_cycle(self):
+        ru = RU(0)
+        i = inst()
+        ru.begin_load(i, now=0)
+        assert ru.state is RUState.RECONFIGURING
+        assert not ru.is_candidate
+        ru.finish_load(now=10)
+        assert ru.state is RUState.LOADED
+        assert ru.pending is i  # claimed by the load
+        started = ru.start_execution(now=10)
+        assert started is i
+        assert ru.state is RUState.EXECUTING
+        finished = ru.finish_execution(now=110)
+        assert finished is i
+        assert ru.state is RUState.LOADED
+        assert ru.config == i.config   # configuration persists!
+        assert ru.is_candidate         # now evictable
+        assert ru.last_use == 110
+
+    def test_reuse_claim_cycle(self):
+        ru = RU(0)
+        first = inst(app=0)
+        ru.begin_load(first, 0)
+        ru.finish_load(4)
+        ru.start_execution(4)
+        ru.finish_execution(8)
+        again = inst(app=1)
+        ru.claim_reuse(again)
+        assert ru.pending is again
+        assert ru.pending_reused
+        assert not ru.is_candidate  # protected while claimed
+        ru.start_execution(20)
+        ru.finish_execution(30)
+        assert ru.is_candidate
+
+
+class TestProtectionInvariants:
+    def test_cannot_load_while_reconfiguring(self):
+        ru = RU(0)
+        ru.begin_load(inst(1), 0)
+        with pytest.raises(SimulationError):
+            ru.begin_load(inst(2), 1)
+
+    def test_cannot_load_while_executing(self):
+        ru = RU(0)
+        ru.begin_load(inst(1), 0)
+        ru.finish_load(4)
+        ru.start_execution(4)
+        with pytest.raises(SimulationError):
+            ru.begin_load(inst(2), 5)
+
+    def test_cannot_evict_claimed_configuration(self):
+        ru = RU(0)
+        ru.begin_load(inst(1), 0)
+        ru.finish_load(4)
+        # pending execution not yet run: S3 protection
+        with pytest.raises(SimulationError):
+            ru.begin_load(inst(2), 5)
+
+    def test_reuse_claim_requires_matching_config(self):
+        ru = RU(0)
+        ru.begin_load(inst(1), 0)
+        ru.finish_load(4)
+        ru.start_execution(4)
+        ru.finish_execution(8)
+        with pytest.raises(SimulationError):
+            ru.claim_reuse(inst(2))
+
+    def test_reuse_claim_requires_loaded_state(self):
+        ru = RU(0)
+        with pytest.raises(SimulationError):
+            ru.claim_reuse(inst(1))
+
+    def test_double_claim_rejected(self):
+        ru = RU(0)
+        ru.begin_load(inst(1, app=0), 0)
+        ru.finish_load(4)
+        ru.start_execution(4)
+        ru.finish_execution(8)
+        ru.claim_reuse(inst(1, app=1))
+        with pytest.raises(SimulationError):
+            ru.claim_reuse(inst(1, app=2))
+
+    def test_start_execution_requires_claim(self):
+        ru = RU(0)
+        ru.begin_load(inst(1), 0)
+        ru.finish_load(4)
+        ru.start_execution(4)
+        ru.finish_execution(8)
+        with pytest.raises(SimulationError):
+            ru.start_execution(9)  # no pending claim
+
+    def test_finish_execution_requires_executing(self):
+        ru = RU(0)
+        with pytest.raises(SimulationError):
+            ru.finish_execution(0)
+
+    def test_finish_load_requires_reconfiguring(self):
+        ru = RU(0)
+        with pytest.raises(SimulationError):
+            ru.finish_load(0)
+
+
+class TestView:
+    def test_view_snapshot(self):
+        ru = RU(3)
+        i = inst(2, name="APP")
+        ru.begin_load(i, 0)
+        ru.finish_load(7)
+        view = ru.view()
+        assert view.index == 3
+        assert view.config == ConfigId("APP", 2)
+        assert view.state is RUState.LOADED
+        assert view.load_end == 7
+
+    def test_view_is_immutable(self):
+        view = RU(0).view()
+        with pytest.raises(Exception):
+            view.index = 5  # type: ignore[misc]

@@ -1,0 +1,46 @@
+"""Tests for the seed-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityReport,
+    render_sensitivity,
+    run_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def report() -> SensitivityReport:
+    return run_sensitivity(seeds=(1, 2), length=30, ru_counts=(4, 6))
+
+
+class TestSensitivity:
+    def test_covers_all_policies(self, report):
+        labels = {r.policy_label for r in report.results}
+        assert {"LRU", "Local LFD (1)", "Local LFD (1) + Skip", "LFD"} == labels
+
+    def test_per_seed_lengths(self, report):
+        for result in report.results:
+            assert len(result.per_seed) == len(report.seeds)
+
+    def test_mean_consistent_with_per_seed(self, report):
+        for result in report.results:
+            mean = sum(result.per_seed) / len(result.per_seed)
+            assert result.mean_reuse_pct == pytest.approx(mean, abs=0.01)
+
+    def test_crossover_rate_in_unit_interval(self, report):
+        assert 0.0 <= report.crossover_rate <= 1.0
+
+    def test_lfd_beats_lru_in_mean(self, report):
+        by_label = report.by_label()
+        assert by_label["LFD"].mean_reuse_pct >= by_label["LRU"].mean_reuse_pct
+
+    def test_render(self, report):
+        text = render_sensitivity(report)
+        assert "Seed sensitivity" in text
+        assert "beats LFD" in text
+
+    def test_deterministic(self):
+        a = run_sensitivity(seeds=(3,), length=20, ru_counts=(4,))
+        b = run_sensitivity(seeds=(3,), length=20, ru_counts=(4,))
+        assert a.results == b.results

@@ -1,0 +1,79 @@
+"""Tests for task-graph JSON serialization."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builders import fork_join_graph
+from repro.graphs.multimedia import benchmark_suite
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graphs,
+    save_graphs,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        g = fork_join_graph("FJ", 10, [20, 30], 5)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_json_round_trip(self):
+        g = fork_join_graph("FJ", 10, [20, 30], 5)
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_benchmarks_round_trip(self):
+        for g in benchmark_suite():
+            assert graph_from_json(graph_to_json(g)) == g
+
+    def test_bitstream_and_names_preserved(self):
+        g = fork_join_graph("FJ", 10, [20], 5)
+        data = graph_to_dict(g)
+        data["tasks"][0]["bitstream_kb"] = 128
+        data["tasks"][0]["name"] = "special"
+        h = graph_from_dict(data)
+        assert h.task(1).bitstream_kb == 128
+        assert h.task(1).name == "special"
+
+    def test_file_round_trip(self, tmp_path):
+        graphs = benchmark_suite()
+        path = str(tmp_path / "suite.json")
+        save_graphs(graphs, path)
+        loaded = load_graphs(path)
+        assert loaded == graphs
+
+
+class TestErrors:
+    def test_bad_version(self):
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict({"version": 99, "name": "X", "tasks": []})
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"version": 1})
+
+    def test_invalid_task_record(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"name": "X", "tasks": [{"id": 1}]})
+
+    def test_invalid_edge_record(self):
+        with pytest.raises(GraphError):
+            graph_from_dict(
+                {"name": "X", "tasks": [{"id": 1, "exec_time": 5}], "edges": [[1]]}
+            )
+
+    def test_invalid_json_text(self):
+        with pytest.raises(GraphError):
+            graph_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(GraphError):
+            graph_from_json("[1, 2, 3]")
+
+    def test_non_list_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a": 1}')
+        with pytest.raises(GraphError):
+            load_graphs(str(path))

@@ -1,0 +1,78 @@
+"""Tests for repro.sim.simtime and repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.simtime import fmt_ms, ms, to_ms
+
+
+class TestMs:
+    def test_integral(self):
+        assert ms(4) == 4000
+
+    def test_fractional_exact(self):
+        assert ms(2.5) == 2500
+        assert ms(0.001) == 1
+
+    def test_sub_microsecond_rejected(self):
+        with pytest.raises(ValueError):
+            ms(0.0001)
+
+    def test_round_trip(self):
+        assert to_ms(ms(7.25)) == 7.25
+
+    def test_fmt(self):
+        assert fmt_ms(4000) == "4ms"
+        assert fmt_ms(2500) == "2.5ms"
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(30, EventKind.END_OF_EXECUTION, "c")
+        q.push(10, EventKind.END_OF_EXECUTION, "a")
+        q.push(20, EventKind.END_OF_EXECUTION, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_kind_priority(self):
+        # End-of-execution processes before end-of-reconfiguration.
+        q = EventQueue()
+        q.push(10, EventKind.END_OF_RECONFIGURATION, "rec")
+        q.push(10, EventKind.END_OF_EXECUTION, "exec")
+        q.push(10, EventKind.APP_ARRIVAL, "arrival")
+        assert [q.pop().payload for _ in range(3)] == ["exec", "rec", "arrival"]
+
+    def test_fifo_within_same_time_and_kind(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(7, EventKind.END_OF_EXECUTION, i)
+        assert [q.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1, EventKind.END_OF_EXECUTION, "x")
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, EventKind.END_OF_EXECUTION, None)
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0, EventKind.APP_ARRIVAL, 0)
+        assert q and len(q) == 1
+
+
+class TestEvent:
+    def test_sort_key(self):
+        e = Event(time=5, kind=EventKind.END_OF_RECONFIGURATION, payload=None, seq=2)
+        assert e.sort_key() == (5, 1, 2)

@@ -1,0 +1,85 @@
+"""Tests for the high-level simulate() API and SimulationResult metrics."""
+
+import pytest
+
+from repro.core.policies.classic import LRUPolicy
+from repro.core.replacement_module import PolicyAdvisor
+from repro.graphs.builders import chain_graph, fork_join_graph
+from repro.graphs.multimedia import benchmark_suite
+from repro.sim.semantics import ManagerSemantics
+from repro.sim.simtime import ms
+from repro.sim.simulator import (
+    ideal_makespan,
+    simulate,
+    sum_of_critical_paths,
+)
+
+
+class TestIdealMakespan:
+    def test_equals_sum_of_critical_paths_when_rus_suffice(self):
+        apps = benchmark_suite()
+        assert ideal_makespan(apps, 4) == sum_of_critical_paths(apps)
+
+    def test_single_chain(self):
+        g = chain_graph("G", [ms(3), ms(7)])
+        assert ideal_makespan([g], 2) == ms(10)
+
+    def test_repeated_apps(self):
+        g = fork_join_graph("FJ", ms(1), [ms(2), ms(5)], ms(1))
+        assert ideal_makespan([g, g, g], 4) == 3 * g.critical_path_length()
+
+
+class TestSimulateMetrics:
+    def test_overhead_is_makespan_minus_ideal(self):
+        g = chain_graph("G", [ms(10), ms(10)])
+        result = simulate([g], 4, ms(4), PolicyAdvisor(LRUPolicy()))
+        assert result.overhead_us == result.makespan_us - result.ideal_makespan_us
+        assert result.overhead_us == ms(4)  # only the first load is exposed
+
+    def test_reuse_pct_range(self):
+        g = chain_graph("G", [ms(10)])
+        result = simulate([g, g], 4, ms(4), PolicyAdvisor(LRUPolicy()))
+        assert result.reuse_pct == pytest.approx(50.0)
+
+    def test_remaining_overhead_pct_normalisation(self):
+        # Single app, one task: baseline = 1 exec * 4ms; overhead = 4ms.
+        g = chain_graph("G", [ms(10)])
+        result = simulate([g], 4, ms(4), PolicyAdvisor(LRUPolicy()))
+        assert result.remaining_overhead_pct() == pytest.approx(100.0)
+
+    def test_zero_latency_zero_overhead(self):
+        g = chain_graph("G", [ms(10), ms(5)])
+        result = simulate([g, g], 4, 0, PolicyAdvisor(LRUPolicy()))
+        assert result.overhead_us == 0
+        assert result.remaining_overhead_pct() == 0.0
+
+    def test_precomputed_ideal_accepted(self):
+        g = chain_graph("G", [ms(10)])
+        result = simulate(
+            [g], 4, ms(4), PolicyAdvisor(LRUPolicy()), ideal_makespan_us=ms(10)
+        )
+        assert result.ideal_makespan_us == ms(10)
+
+    def test_summary_keys(self):
+        g = chain_graph("G", [ms(10)])
+        summary = simulate([g], 4, ms(4), PolicyAdvisor(LRUPolicy())).summary()
+        for key in (
+            "makespan_us",
+            "ideal_makespan_us",
+            "overhead_us",
+            "reuse_pct",
+            "remaining_overhead_pct",
+            "reconfigurations",
+            "n_apps",
+        ):
+            assert key in summary
+
+
+class TestDeterminism:
+    def test_same_inputs_same_trace(self):
+        apps = benchmark_suite() * 3
+        r1 = simulate(apps, 4, ms(4), PolicyAdvisor(LRUPolicy()), ManagerSemantics())
+        r2 = simulate(apps, 4, ms(4), PolicyAdvisor(LRUPolicy()), ManagerSemantics())
+        assert r1.makespan_us == r2.makespan_us
+        assert r1.trace.executions == r2.trace.executions
+        assert r1.trace.reconfigs == r2.trace.reconfigs

@@ -1,0 +1,80 @@
+"""Unit tests for repro.graphs.task."""
+
+import pytest
+
+from repro.graphs.task import ConfigId, TaskInstance, TaskSpec
+
+
+class TestConfigId:
+    def test_fields(self):
+        cfg = ConfigId("JPEG", 3)
+        assert cfg.graph_name == "JPEG"
+        assert cfg.node_id == 3
+
+    def test_equality_and_hash(self):
+        assert ConfigId("A", 1) == ConfigId("A", 1)
+        assert ConfigId("A", 1) != ConfigId("A", 2)
+        assert ConfigId("A", 1) != ConfigId("B", 1)
+        assert len({ConfigId("A", 1), ConfigId("A", 1), ConfigId("B", 1)}) == 2
+
+    def test_str(self):
+        assert str(ConfigId("JPEG", 3)) == "JPEG.3"
+
+    def test_is_tuple(self):
+        # ConfigId must stay a cheap tuple subtype (hot path in policies).
+        assert isinstance(ConfigId("A", 1), tuple)
+
+
+class TestTaskSpec:
+    def test_valid_construction(self):
+        spec = TaskSpec(node_id=1, exec_time=2500)
+        assert spec.exec_time == 2500
+        assert spec.name == "t1"
+        assert spec.bitstream_kb == 512
+
+    def test_explicit_name(self):
+        assert TaskSpec(node_id=2, exec_time=1, name="idct").name == "idct"
+
+    def test_rejects_zero_exec_time(self):
+        with pytest.raises(ValueError, match="exec_time"):
+            TaskSpec(node_id=1, exec_time=0)
+
+    def test_rejects_negative_exec_time(self):
+        with pytest.raises(ValueError, match="exec_time"):
+            TaskSpec(node_id=1, exec_time=-5)
+
+    def test_rejects_negative_node_id(self):
+        with pytest.raises(ValueError, match="node_id"):
+            TaskSpec(node_id=-1, exec_time=10)
+
+    def test_rejects_nonpositive_bitstream(self):
+        with pytest.raises(ValueError, match="bitstream_kb"):
+            TaskSpec(node_id=1, exec_time=10, bitstream_kb=0)
+
+    def test_with_exec_time_copies(self):
+        spec = TaskSpec(node_id=1, exec_time=100, name="x", bitstream_kb=64)
+        clone = spec.with_exec_time(250)
+        assert clone.exec_time == 250
+        assert clone.name == "x"
+        assert clone.bitstream_kb == 64
+        assert spec.exec_time == 100  # original untouched
+
+    def test_frozen(self):
+        spec = TaskSpec(node_id=1, exec_time=100)
+        with pytest.raises(Exception):
+            spec.exec_time = 5  # type: ignore[misc]
+
+
+class TestTaskInstance:
+    def test_accessors(self):
+        inst = TaskInstance(app_index=7, config=ConfigId("HOUGH", 2), exec_time=999)
+        assert inst.node_id == 2
+        assert inst.graph_name == "HOUGH"
+        assert inst.app_index == 7
+        assert "app7" in str(inst)
+
+    def test_instances_of_same_config_compare_by_app(self):
+        a = TaskInstance(app_index=0, config=ConfigId("A", 1), exec_time=10)
+        b = TaskInstance(app_index=1, config=ConfigId("A", 1), exec_time=10)
+        assert a != b
+        assert a.config == b.config

@@ -1,0 +1,192 @@
+"""Unit tests for repro.graphs.task_graph."""
+
+import pytest
+
+from repro.exceptions import (
+    CycleError,
+    DuplicateTaskError,
+    GraphError,
+    UnknownTaskError,
+)
+from repro.graphs.task import ConfigId, TaskSpec
+from repro.graphs.task_graph import TaskGraph, validate_same_shape
+
+
+def make_graph(edges=(), times=None, name="G"):
+    times = times or {1: 10, 2: 20, 3: 30}
+    return TaskGraph(name, [TaskSpec(n, t) for n, t in times.items()], edges)
+
+
+class TestConstruction:
+    def test_minimal(self):
+        g = TaskGraph("G", [TaskSpec(1, 5)])
+        assert len(g) == 1
+        assert g.sources() == (1,)
+        assert g.sinks() == (1,)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph("", [TaskSpec(1, 5)])
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph("G", [])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DuplicateTaskError):
+            TaskGraph("G", [TaskSpec(1, 5), TaskSpec(1, 6)])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(UnknownTaskError):
+            make_graph(edges=[(1, 9)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            make_graph(edges=[(2, 2)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            make_graph(edges=[(1, 2), (2, 3), (3, 1)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            make_graph(edges=[(1, 2), (2, 1)])
+
+    def test_duplicate_edges_collapsed(self):
+        g = make_graph(edges=[(1, 2), (1, 2)])
+        assert len(g.edges) == 1
+
+
+class TestQueries:
+    def test_adjacency(self):
+        g = make_graph(edges=[(1, 3), (2, 3)])
+        assert g.predecessors(3) == (1, 2)
+        assert g.successors(1) == (3,)
+        assert g.predecessors(1) == ()
+        assert g.sources() == (1, 2)
+        assert g.sinks() == (3,)
+
+    def test_unknown_node_queries_raise(self):
+        g = make_graph()
+        with pytest.raises(UnknownTaskError):
+            g.task(99)
+        with pytest.raises(UnknownTaskError):
+            g.predecessors(99)
+        with pytest.raises(UnknownTaskError):
+            g.successors(99)
+        with pytest.raises(UnknownTaskError):
+            g.config_id(99)
+
+    def test_contains_and_iter(self):
+        g = make_graph(edges=[(1, 2)])
+        assert 1 in g and 99 not in g
+        assert [s.node_id for s in g] == list(g.topological_order())
+
+    def test_config_ids(self):
+        g = make_graph(name="APP")
+        assert g.config_id(1) == ConfigId("APP", 1)
+        assert len(g.config_ids()) == 3
+
+    def test_topological_order_is_valid(self):
+        g = make_graph(edges=[(3, 1), (1, 2)], times={1: 1, 2: 1, 3: 1})
+        order = g.topological_order()
+        assert order.index(3) < order.index(1) < order.index(2)
+
+    def test_topological_order_deterministic_tiebreak(self):
+        # No edges: pure id order.
+        g = make_graph()
+        assert g.topological_order() == (1, 2, 3)
+
+
+class TestTiming:
+    def test_chain_critical_path(self):
+        g = make_graph(edges=[(1, 2), (2, 3)], times={1: 10, 2: 20, 3: 30})
+        assert g.critical_path_length() == 60
+        assert g.asap_start_times() == {1: 0, 2: 10, 3: 30}
+
+    def test_parallel_critical_path(self):
+        g = make_graph(times={1: 10, 2: 25, 3: 5})
+        assert g.critical_path_length() == 25
+        assert g.asap_start_times() == {1: 0, 2: 0, 3: 0}
+
+    def test_diamond_critical_path(self):
+        g = TaskGraph(
+            "G",
+            [TaskSpec(1, 10), TaskSpec(2, 5), TaskSpec(3, 20), TaskSpec(4, 1)],
+            [(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        assert g.critical_path_length() == 10 + 20 + 1
+
+    def test_total_exec_time(self):
+        g = make_graph()
+        assert g.total_exec_time() == 60
+
+    def test_depth_of(self):
+        g = make_graph(edges=[(1, 2), (2, 3)])
+        assert g.depth_of(1) == 0
+        assert g.depth_of(3) == 2
+
+
+class TestReconfigurationOrder:
+    def test_chain_order(self):
+        g = make_graph(edges=[(1, 2), (2, 3)])
+        assert g.reconfiguration_order() == (1, 2, 3)
+
+    def test_fork_orders_by_asap_then_id(self):
+        g = TaskGraph(
+            "G",
+            [TaskSpec(1, 10), TaskSpec(2, 5), TaskSpec(3, 5)],
+            [(1, 2), (1, 3)],
+        )
+        assert g.reconfiguration_order() == (1, 2, 3)
+
+    def test_staggered_asap_order(self):
+        # 1(10) -> 3 ; 2(4) -> 4 : ASAP starts 1:0, 2:0, 4:4, 3:10
+        g = TaskGraph(
+            "G",
+            [TaskSpec(1, 10), TaskSpec(2, 4), TaskSpec(3, 1), TaskSpec(4, 1)],
+            [(1, 3), (2, 4)],
+        )
+        assert g.reconfiguration_order() == (1, 2, 4, 3)
+
+
+class TestDerivation:
+    def test_renamed_changes_configs(self):
+        g = make_graph(name="A")
+        h = g.renamed("B")
+        assert h.config_id(1) == ConfigId("B", 1)
+        assert validate_same_shape(g, h)
+
+    def test_with_exec_times(self):
+        g = make_graph(edges=[(1, 2)])
+        h = g.with_exec_times({2: 99})
+        assert h.task(2).exec_time == 99
+        assert h.task(1).exec_time == 10
+        assert g.task(2).exec_time == 20
+
+    def test_scaled(self):
+        g = make_graph()
+        h = g.scaled(2.0)
+        assert h.task(1).exec_time == 20
+        assert h.task(3).exec_time == 60
+
+    def test_scaled_floors_at_one(self):
+        g = make_graph(times={1: 1})
+        assert g.scaled(0.001).task(1).exec_time == 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            make_graph().scaled(0)
+
+    def test_equality_and_hash(self):
+        a = make_graph(edges=[(1, 2)])
+        b = make_graph(edges=[(1, 2)])
+        c = make_graph(edges=[(1, 3)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_describe_contains_tasks(self):
+        text = make_graph().describe()
+        assert "critical path" in text
+        assert "t1" in text

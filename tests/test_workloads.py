@@ -1,0 +1,129 @@
+"""Tests for workload generation and scenarios."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graphs.multimedia import benchmark_suite
+from repro.workloads.scenarios import (
+    PAPER_SEQUENCE_LENGTH,
+    adversarial_round_robin_workload,
+    available_scenarios,
+    bursty_workload,
+    make_scenario,
+    paper_evaluation_workload,
+    quick_workload,
+)
+from repro.workloads.sequence import (
+    Workload,
+    bursty_sequence,
+    random_sequence,
+    round_robin_sequence,
+    weighted_sequence,
+)
+
+
+class TestRandomSequence:
+    def test_length(self):
+        seq = random_sequence(benchmark_suite(), 500, seed=1)
+        assert len(seq) == 500
+
+    def test_deterministic(self):
+        a = random_sequence(benchmark_suite(), 100, seed=7)
+        b = random_sequence(benchmark_suite(), 100, seed=7)
+        assert [g.name for g in a] == [g.name for g in b]
+
+    def test_seed_changes_sequence(self):
+        a = random_sequence(benchmark_suite(), 100, seed=1)
+        b = random_sequence(benchmark_suite(), 100, seed=2)
+        assert [g.name for g in a] != [g.name for g in b]
+
+    def test_all_apps_appear_in_long_sequences(self):
+        names = {g.name for g in random_sequence(benchmark_suite(), 200, seed=0)}
+        assert names == {"JPEG", "MPEG1", "HOUGH"}
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_sequence([], 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_sequence(benchmark_suite(), 0)
+
+
+class TestWeightedSequence:
+    def test_degenerate_weight_selects_single_app(self):
+        seq = weighted_sequence(benchmark_suite(), 50, [1, 0, 0], seed=0)
+        assert all(g.name == "JPEG" for g in seq)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(WorkloadError):
+            weighted_sequence(benchmark_suite(), 10, [1, 2], seed=0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            weighted_sequence(benchmark_suite(), 10, [1, -1, 1], seed=0)
+
+
+class TestBurstyAndRoundRobin:
+    def test_bursty_has_repeats(self):
+        seq = bursty_sequence(benchmark_suite(), 100, burst_len=5, seed=0)
+        repeats = sum(1 for a, b in zip(seq, seq[1:]) if a.name == b.name)
+        assert repeats > 30  # much more locality than uniform (~33)
+
+    def test_bursty_length_exact(self):
+        assert len(bursty_sequence(benchmark_suite(), 37, seed=0)) == 37
+
+    def test_bursty_invalid_burst(self):
+        with pytest.raises(WorkloadError):
+            bursty_sequence(benchmark_suite(), 10, burst_len=0)
+
+    def test_round_robin_cycles(self):
+        seq = round_robin_sequence(benchmark_suite(), 7)
+        assert [g.name for g in seq] == [
+            "JPEG", "MPEG1", "HOUGH", "JPEG", "MPEG1", "HOUGH", "JPEG",
+        ]
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload(apps=(), n_rus=4, reconfig_latency=4000)
+        with pytest.raises(WorkloadError):
+            Workload(apps=tuple(benchmark_suite()), n_rus=0, reconfig_latency=4000)
+        with pytest.raises(WorkloadError):
+            Workload(apps=tuple(benchmark_suite()), n_rus=4, reconfig_latency=-1)
+
+    def test_histogram_and_distinct(self):
+        w = paper_evaluation_workload(length=100, seed=5)
+        hist = w.app_histogram()
+        assert sum(hist.values()) == 100
+        assert {g.name for g in w.distinct_graphs()} == set(hist)
+
+    def test_n_tasks(self):
+        w = quick_workload(length=10)
+        assert w.n_tasks == sum(len(g) for g in w.apps)
+
+    def test_with_device(self):
+        w = quick_workload().with_device(n_rus=8)
+        assert w.n_rus == 8
+
+
+class TestScenarios:
+    def test_paper_default_length(self):
+        assert paper_evaluation_workload().n_apps == PAPER_SEQUENCE_LENGTH
+
+    def test_scenarios_registry(self):
+        assert "paper-eval" in available_scenarios()
+        w = make_scenario("quick", length=12)
+        assert w.n_apps == 12
+
+    def test_unknown_scenario(self):
+        with pytest.raises(WorkloadError):
+            make_scenario("nope")
+
+    def test_bursty_workload_name(self):
+        assert bursty_workload(length=10).name.startswith("bursty")
+
+    def test_round_robin_workload(self):
+        w = adversarial_round_robin_workload(length=9)
+        assert w.n_apps == 9
