@@ -5,29 +5,20 @@ evaluation tractable; regressions here make every figure slower to
 regenerate.  Also benchmarks the design-time phase per graph.
 """
 
+from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
-from repro.core.policies.lfd import LocalLFDPolicy
-from repro.core.replacement_module import PolicyAdvisor
+from repro.core.policy_spec import local_lfd_spec
 from repro.graphs.multimedia import benchmark_suite
-from repro.sim.semantics import ManagerSemantics
-from repro.sim.simulator import simulate
+from repro.session import Session
 from repro.workloads.scenarios import paper_evaluation_workload
 
 
 def test_simulate_100_apps(benchmark):
     workload = paper_evaluation_workload(length=100)
-    apps = list(workload.apps)
+    session = Session(Device(4, workload.reconfig_latency), workload)
+    spec = local_lfd_spec(1)
 
-    def run():
-        return simulate(
-            apps,
-            4,
-            workload.reconfig_latency,
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=1),
-        )
-
-    result = benchmark(run)
+    result = benchmark(session.run, spec)
     assert result.trace.n_executions == workload.n_tasks
 
 

@@ -1,0 +1,67 @@
+"""E-SESSION — sequential vs parallel `Session.sweep` wall-clock.
+
+Times the fig9a spec panel over the reduced evaluation workload twice —
+``parallel=1`` and ``parallel=JOBS`` — asserts the results are identical
+cell-for-cell, and writes the measurements as JSON
+(``benchmarks/results/bench_session_sweep.json``) so future PRs can track
+the scaling trajectory.  The speed-up assertion only applies on multi-core
+runners; on a single core the parallel path still must be correct, just
+not faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import EVAL_RU_COUNTS
+from repro.core.policy_spec import fig9a_specs
+from repro.session import Session
+
+#: Worker processes for the parallel leg.
+JOBS = min(4, os.cpu_count() or 1)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_session_sweep.json"
+
+
+def _timed_sweep(workload, parallel: int):
+    session = Session(workload=workload)
+    t0 = time.perf_counter()
+    sweep = session.sweep(
+        fig9a_specs(), ru_counts=EVAL_RU_COUNTS, title="bench", parallel=parallel
+    )
+    return sweep, time.perf_counter() - t0
+
+
+def test_session_sweep_parallel_scaling(eval_workload):
+    sequential, seq_s = _timed_sweep(eval_workload, parallel=1)
+    parallel, par_s = _timed_sweep(eval_workload, parallel=JOBS)
+
+    # Correctness first: parallelism must not change a single cell.
+    assert [r.__dict__ for r in sequential.records] == [
+        r.__dict__ for r in parallel.records
+    ]
+
+    payload = {
+        "benchmark": "session_sweep_fig9a",
+        "workload": eval_workload.name,
+        "ru_counts": list(EVAL_RU_COUNTS),
+        "cells": len(sequential.records),
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "sequential_s": round(seq_s, 3),
+        "parallel_s": round(par_s, 3),
+        "speedup": round(seq_s / par_s, 3) if par_s > 0 else None,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\n" + json.dumps(payload, indent=2))
+
+    if (os.cpu_count() or 1) >= 2 and JOBS >= 2:
+        # Fork + fan-out overhead is real but must not eat the whole win.
+        assert par_s < seq_s, (
+            f"parallel={JOBS} ({par_s:.2f}s) not faster than sequential "
+            f"({seq_s:.2f}s) on a {os.cpu_count()}-core runner"
+        )

@@ -30,7 +30,7 @@ from repro import (
     PolicyAdvisor,
     benchmark_suite,
     ms,
-    simulate,
+    run_simulation,
 )
 from repro.experiments.hybrid_speedup import run_hybrid_speedup
 from repro.graphs.serialization import graph_from_dict, graph_to_dict
@@ -69,7 +69,7 @@ def run_from_bundle(path: Path) -> None:
             name: {int(k): v for k, v in table.items()}
             for name, table in bundle["mobility"][str(n_rus)].items()
         }
-        result = simulate(
+        result = run_simulation(
             apps,
             n_rus,
             LATENCY,

@@ -25,7 +25,7 @@ from repro import (
     ManagerSemantics,
     PolicyAdvisor,
     render_gantt,
-    simulate,
+    run_simulation,
 )
 from repro.experiments.motivational import (
     N_RUS,
@@ -58,7 +58,7 @@ def main() -> None:
         ),
     ]
     for label, advisor, semantics in runs:
-        result = simulate(apps, N_RUS, RECONFIG_LATENCY, advisor, semantics)
+        result = run_simulation(apps, N_RUS, RECONFIG_LATENCY, advisor, semantics)
         print("=" * 70)
         print(
             f"{label}: reuse {result.reuse_pct:.1f} %, "

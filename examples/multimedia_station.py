@@ -19,18 +19,9 @@ Usage::
 
 from __future__ import annotations
 
-from repro import (
-    LFDPolicy,
-    LRUPolicy,
-    LocalLFDPolicy,
-    ManagerSemantics,
-    MobilityCalculator,
-    PolicyAdvisor,
-    simulate,
-)
+from repro import Session, lfd_spec, local_lfd_spec, lru_spec
 from repro.metrics.energy import EnergyModel, reconfiguration_energy
 from repro.metrics.utilization import app_latency_stats, utilization
-from repro.sim.simulator import ideal_makespan
 from repro.util.tables import TextTable, bar_chart
 from repro.workloads.scenarios import bursty_workload
 
@@ -49,67 +40,40 @@ def main() -> None:
     )
 
     energy_model = EnergyModel()
+    session = Session(workload=workload)
+    specs = (
+        lru_spec(),
+        local_lfd_spec(2, skip_events=True).with_label("Local LFD(2)+Skip"),
+        lfd_spec().with_label("LFD bound"),
+    )
     table = TextTable(
         ["RUs", "policy", "reuse %", "slowdown vs ideal", "energy saved %"],
         title="Set-top workstation sizing study",
     )
     reuse_by_size = {}
     for n_rus in RU_SIZES:
-        ideal = ideal_makespan(apps, n_rus)
-        mobility = MobilityCalculator(
-            n_rus=n_rus, reconfig_latency=workload.reconfig_latency
-        ).compute_tables(workload.distinct_graphs())
-        for label, advisor, semantics, mob in (
-            ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics(), None),
-            (
-                "Local LFD(2)+Skip",
-                PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
-                ManagerSemantics(lookahead_apps=2),
-                mobility,
-            ),
-            (
-                "LFD bound",
-                PolicyAdvisor(LFDPolicy()),
-                ManagerSemantics(provide_oracle=True),
-                None,
-            ),
-        ):
-            result = simulate(
-                apps,
-                n_rus,
-                workload.reconfig_latency,
-                advisor,
-                semantics,
-                mobility_tables=mob,
-                ideal_makespan_us=ideal,
-            )
+        ideal = session.ideal_makespan_us(n_rus)
+        for spec in specs:
+            result = session.run(spec, n_rus=n_rus)
             energy = reconfiguration_energy(result.trace, apps, energy_model)
             slowdown = result.makespan_us / ideal
             table.add_row(
                 [
                     n_rus,
-                    label,
+                    spec.label,
                     f"{result.reuse_pct:.1f}",
                     f"{slowdown:.4f}x",
                     f"{energy.savings_pct():.1f}",
                 ]
             )
-            if label.startswith("Local"):
+            if spec.label.startswith("Local"):
                 reuse_by_size[n_rus] = result.reuse_pct
     print(table.render())
 
     # Responsiveness / utilization detail for the smallest viable device.
     n_rus = RU_SIZES[0]
-    mobility = MobilityCalculator(
-        n_rus=n_rus, reconfig_latency=workload.reconfig_latency
-    ).compute_tables(workload.distinct_graphs())
-    detail = simulate(
-        apps,
-        n_rus,
-        workload.reconfig_latency,
-        PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
-        ManagerSemantics(lookahead_apps=2),
-        mobility_tables=mobility,
+    detail = session.run(
+        local_lfd_spec(2, skip_events=True), n_rus=n_rus
     )
     util = utilization(detail.trace)
     latency_stats = app_latency_stats(detail.trace, apps)

@@ -10,6 +10,11 @@ compares four replacement strategies:
 * Local LFD (1) + Skip Events — with the hybrid design-time mobility phase,
 * LFD            — the clairvoyant optimum (upper bound).
 
+Everything goes through the declarative API: a :class:`repro.Device`
+describes the hardware, each strategy is a :class:`repro.PolicySpec`, and
+one :class:`repro.Session` runs them all — computing the design-time
+artifacts (mobility tables, zero-latency ideal) once and sharing them.
+
 Usage::
 
     python examples/quickstart.py
@@ -18,83 +23,67 @@ Usage::
 from __future__ import annotations
 
 from repro import (
+    Device,
+    PolicySpec,
     LFDPolicy,
-    LRUPolicy,
-    LocalLFDPolicy,
-    ManagerSemantics,
-    MobilityCalculator,
-    PolicyAdvisor,
+    Session,
+    Workload,
     benchmark_suite,
+    local_lfd_spec,
+    lru_spec,
     ms,
-    simulate,
 )
 from repro.util.tables import TextTable
 from repro.workloads.sequence import random_sequence
 
-N_RUS = 5                 # 4..10 in the paper's sweep; 5 shows skips
+DEVICE = Device(n_rus=5, reconfig_latency=ms(4))
+                          # 4..10 RUs in the paper's sweep; 5 shows skips
                           # improving both reuse AND overhead (at 4 RUs the
                           # literal skip rule trades overhead for reuse —
                           # see EXPERIMENTS.md and the ablation A3)
-LATENCY = ms(4)           # 4 ms per reconfiguration, as in the paper
 SEQUENCE_LENGTH = 100
 SEED = 42
 
 
 def main() -> None:
     catalog = benchmark_suite()
-    apps = random_sequence(catalog, SEQUENCE_LENGTH, seed=SEED)
+    workload = Workload(
+        apps=tuple(random_sequence(catalog, SEQUENCE_LENGTH, seed=SEED)),
+        n_rus=DEVICE.n_rus,
+        reconfig_latency=DEVICE.reconfig_latency,
+        name="quickstart",
+        seed=SEED,
+    )
     print(f"Workload: {SEQUENCE_LENGTH} applications drawn from "
-          f"{[g.name for g in catalog]} on {N_RUS} RUs, "
-          f"{LATENCY // 1000} ms reconfiguration latency\n")
+          f"{[g.name for g in catalog]} on {DEVICE.label}\n")
 
-    # --- design-time phase (run once per application type) -------------
-    mobility = MobilityCalculator(
-        n_rus=N_RUS, reconfig_latency=LATENCY
-    ).compute_tables(catalog)
+    session = Session(DEVICE, workload)
+
+    # --- design-time phase (cached once per device size) ---------------
     print("Design-time mobility tables:")
-    for name, table in mobility.items():
+    for name, table in session.mobility_tables().items():
         print(f"  {name}: {table}")
     print()
 
     # --- run-time phase -------------------------------------------------
-    runs = [
-        ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics(), None),
-        (
-            "Local LFD (1)",
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=1),
-            None,
+    specs = [
+        lru_spec(),
+        local_lfd_spec(1),
+        local_lfd_spec(1, skip_events=True).with_label(
+            "Local LFD (1) + Skip Events"
         ),
-        (
-            "Local LFD (1) + Skip Events",
-            PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
-            ManagerSemantics(lookahead_apps=1),
-            mobility,
-        ),
-        (
-            "LFD (clairvoyant bound)",
-            PolicyAdvisor(LFDPolicy()),
-            ManagerSemantics(provide_oracle=True),
-            None,
-        ),
+        PolicySpec("LFD (clairvoyant bound)", LFDPolicy, oracle=True),
     ]
 
     table = TextTable(
         ["strategy", "reuse %", "overhead ms", "remaining ovh %", "reconfigs", "skips"],
         title="Replacement-policy comparison",
     )
-    for label, advisor, semantics, mob in runs:
-        result = simulate(
-            apps,
-            n_rus=N_RUS,
-            reconfig_latency=LATENCY,
-            advisor=advisor,
-            semantics=semantics,
-            mobility_tables=mob,
-        )
+    for spec in specs:
+        result = session.run(spec)
         table.add_row(
             [
-                label,
+                spec.label,
                 f"{result.reuse_pct:.1f}",
                 f"{result.overhead_us / 1000:.0f}",
                 f"{result.remaining_overhead_pct():.1f}",

@@ -25,7 +25,7 @@ from repro import (
     MobilityCalculator,
     PolicyAdvisor,
     render_gantt,
-    simulate,
+    run_simulation,
 )
 from repro.experiments.motivational import (
     N_RUS,
@@ -57,7 +57,7 @@ def main() -> None:
     semantics = ManagerSemantics(lookahead_apps=1)
     print("RUN TIME — sequence TG1, TG2, TG1 on 4 RUs (Fig. 3)")
 
-    asap = simulate(
+    asap = run_simulation(
         apps, N_RUS, RECONFIG_LATENCY, PolicyAdvisor(LocalLFDPolicy()), semantics
     )
     print(
@@ -67,7 +67,7 @@ def main() -> None:
     print(render_gantt(asap.trace, cell_us=2000))
 
     mobility = MobilityCalculator(N_RUS, RECONFIG_LATENCY).compute_tables(apps)
-    skip = simulate(
+    skip = run_simulation(
         apps,
         N_RUS,
         RECONFIG_LATENCY,

@@ -2,7 +2,8 @@
 
 The offline environment lacks the ``wheel`` package, so PEP 517 editable
 builds (which require ``bdist_wheel``) fail; this shim enables
-``pip install -e . --no-use-pep517``.  All metadata lives in
+``pip install -e . --no-use-pep517``.  All metadata — including the
+``repro``/``repro-experiments`` console scripts — lives in
 ``pyproject.toml``.
 """
 

@@ -1,29 +1,34 @@
 """repro — reproduction of "A Replacement Technique to Maximize Task Reuse
 in Reconfigurable Systems" (Clemente et al., 2011).
 
-Quickstart::
+Quickstart (the declarative API)::
 
-    from repro import (
-        benchmark_suite, simulate, PolicyAdvisor, LocalLFDPolicy,
-        ManagerSemantics, MobilityCalculator, ms,
-    )
+    from repro import Device, Session, local_lfd_spec, lru_spec, ms
 
-    apps = benchmark_suite() * 3                    # application sequence
-    semantics = ManagerSemantics(lookahead_apps=2)  # Local LFD (2)
-    mobility = MobilityCalculator(n_rus=4, reconfig_latency=ms(4)).compute_tables(apps)
-    result = simulate(
-        apps, n_rus=4, reconfig_latency=ms(4),
-        advisor=PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
-        semantics=semantics, mobility_tables=mobility,
-    )
+    session = Session(Device(n_rus=4, reconfig_latency=ms(4)), "quick")
+    result = session.run(local_lfd_spec(1, skip_events=True))
     print(result.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+    sweep = session.sweep(
+        [lru_spec(), local_lfd_spec(1, skip_events=True)],
+        ru_counts=(4, 6, 8, 10),
+        parallel=2,
+    )
+    print(sweep.render_table("reuse_pct", "% reuse"))
+
+The session computes the design-time artifacts (mobility tables,
+zero-latency ideal makespans) once per ``(workload, n_rus)`` and shares
+them across every policy spec — the paper's hybrid design-time/run-time
+split, made structural.  The original :func:`simulate` entry point remains
+as a deprecated shim over the same engine.
+
+See DESIGN.md for the system inventory and the S1-S6 resolved semantics,
+and EXPERIMENTS.md for the paper-vs-measured record of every artifact.
 """
 
 from repro.exceptions import (
     CycleError,
+    DeviceError,
     DuplicateTaskError,
     ExperimentError,
     GraphError,
@@ -58,11 +63,35 @@ from repro.sim import (
     ideal_makespan,
     ms,
     render_gantt,
+    run_simulation,
     simulate,
     validate_trace,
 )
+from repro.session import (
+    ArtifactCache,
+    GridCellRecord,
+    Session,
+    SessionHooks,
+    SweepCell,
+    workload_content_key,
+)
+from repro.workloads import (
+    Workload,
+    available_scenarios,
+    make_scenario,
+    scenario,
+)
 from repro.core import (
+    Device,
     DynamicList,
+    PAPER_DEVICE,
+    PolicySpec,
+    fig9a_specs,
+    fig9b_specs,
+    fig9c_specs,
+    lfd_spec,
+    local_lfd_spec,
+    lru_spec,
     FIFOPolicy,
     LFDPolicy,
     LRUPolicy,
@@ -77,11 +106,12 @@ from repro.core import (
     make_policy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # exceptions
     "CycleError",
+    "DeviceError",
     "DuplicateTaskError",
     "ExperimentError",
     "GraphError",
@@ -114,9 +144,31 @@ __all__ = [
     "ideal_makespan",
     "ms",
     "render_gantt",
+    "run_simulation",
     "simulate",
     "validate_trace",
+    # session (the declarative engine)
+    "ArtifactCache",
+    "GridCellRecord",
+    "Session",
+    "SessionHooks",
+    "SweepCell",
+    "workload_content_key",
+    # workloads
+    "Workload",
+    "available_scenarios",
+    "make_scenario",
+    "scenario",
     # core
+    "Device",
+    "PAPER_DEVICE",
+    "PolicySpec",
+    "fig9a_specs",
+    "fig9b_specs",
+    "fig9c_specs",
+    "lfd_spec",
+    "local_lfd_spec",
+    "lru_spec",
     "DynamicList",
     "FIFOPolicy",
     "LFDPolicy",

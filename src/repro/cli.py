@@ -1,14 +1,19 @@
-"""Command-line interface: ``repro-experiments`` / ``python -m repro``.
+"""Command-line interface: ``repro`` / ``repro-experiments`` / ``python -m repro``.
 
 Regenerates any paper artifact from the terminal::
 
-    repro-experiments fig2
-    repro-experiments fig9a --length 500
-    repro-experiments table1
-    repro-experiments all --length 200 --no-ablation
+    repro fig2
+    repro fig9a --length 500 --jobs 4
+    repro table1
+    repro all --length 200 --no-ablation
 
-Every command prints the same rows/series the paper reports, with the
-paper's values alongside for comparison.
+and exposes the declarative :class:`~repro.session.Session` engine::
+
+    repro scenarios                          # discoverable workload registry
+    repro sweep --panel fig9b --scenario bursty --rus 4 6 8 --jobs 4
+
+Every artifact command prints the same rows/series the paper reports, with
+the paper's values alongside for comparison.
 """
 
 from __future__ import annotations
@@ -19,10 +24,12 @@ from typing import List, Optional
 
 from repro.experiments import ablation as ablation_mod
 from repro.experiments import fig9, hybrid_speedup, motivational, report, table1, table2
+from repro.session import Session, SessionHooks
 from repro.workloads.scenarios import (
     PAPER_SEQUENCE_LENGTH,
     available_scenarios,
     make_scenario,
+    scenario_info,
 )
 
 COMMANDS = (
@@ -38,8 +45,21 @@ COMMANDS = (
     "hybrid",
     "ablation",
     "sensitivity",
+    "sweep",
+    "scenarios",
     "all",
 )
+
+#: Named spec sets the ``sweep`` command can run.
+SWEEP_PANELS = {
+    "fig9a": (fig9.fig9a_specs, "reuse_pct", "% reuse vs number of RUs"),
+    "fig9b": (fig9.fig9b_specs, "reuse_pct", "% reuse vs number of RUs (skip events)"),
+    "fig9c": (
+        fig9.fig9c_specs,
+        "remaining_overhead_pct",
+        "% remaining reconfiguration overhead",
+    ),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=list(fig9.PAPER_RU_COUNTS),
         help="RU counts to sweep (default: 4..10)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for fig9*/sweep cells (default: 1 = sequential)",
+    )
+    parser.add_argument(
+        "--panel",
+        choices=sorted(SWEEP_PANELS),
+        default="fig9a",
+        help="spec set for the sweep command (default: fig9a)",
     )
     parser.add_argument(
         "--no-ablation",
@@ -108,6 +141,39 @@ def _workload(args: argparse.Namespace):
     return make_scenario(args.scenario, **kwargs)
 
 
+class _ProgressHook(SessionHooks):
+    """Prints one status line per completed sweep cell to stderr."""
+
+    def on_sweep_progress(self, done: int, total: int) -> None:
+        print(f"\r  [{done}/{total}] cells done", end="", file=sys.stderr, flush=True)
+        if done == total:
+            print(file=sys.stderr)
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: one Session.sweep over a spec panel."""
+    specs_factory, metric, header = SWEEP_PANELS[args.panel]
+    session = Session(workload=_workload(args), hooks=(_ProgressHook(),))
+    sweep = session.sweep(
+        specs_factory(),
+        ru_counts=tuple(args.rus),
+        title=f"sweep — {args.panel} on {session.workload.name!r}",
+        parallel=args.jobs,
+    )
+    print(sweep.render_table(metric, header))
+    print(
+        f"(design-time cache: {session.cache.mobility_stats.computations} mobility "
+        f"computations, {session.cache.ideal_stats.computations} ideal makespans; "
+        f"jobs={args.jobs})"
+    )
+    if args.export_csv:
+        from repro.experiments.export import save_text, sweep_to_csv
+
+        save_text(sweep_to_csv(sweep), args.export_csv)
+        print(f"(CSV written to {args.export_csv})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
@@ -134,13 +200,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig9b": fig9.render_fig9b,
             "fig9c": fig9.render_fig9c,
         }[command]
-        sweep = runner(_workload(args), tuple(args.rus))
+        sweep = runner(_workload(args), tuple(args.rus), parallel=args.jobs)
         print(renderer(sweep))
         if args.export_csv:
             from repro.experiments.export import save_text, sweep_to_csv
 
             save_text(sweep_to_csv(sweep), args.export_csv)
             print(f"(CSV written to {args.export_csv})")
+        return 0
+    if command == "sweep":
+        return _run_sweep(args)
+    if command == "scenarios":
+        from repro.util.tables import TextTable
+
+        table = TextTable(
+            ["scenario", "parameters", "description"],
+            title="Registered workload scenarios",
+        )
+        for name in available_scenarios():
+            info = scenario_info(name)
+            table.add_row([info.name, ", ".join(info.parameters), info.description])
+        print(table.render())
         return 0
     if command == "table1":
         print(table1.render_table1())
@@ -157,12 +237,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command == "sensitivity":
         from repro.experiments.sensitivity import render_sensitivity, run_sensitivity
 
-        report = run_sensitivity(
+        sensitivity_report = run_sensitivity(
             seeds=tuple(args.seeds),
             length=min(args.length, 150),
             ru_counts=tuple(args.rus) if args.rus else (4, 6, 8, 10),
+            parallel=args.jobs,
         )
-        print(render_sensitivity(report))
+        print(render_sensitivity(sensitivity_report))
         return 0
     if command == "all":
         print(

@@ -1,6 +1,16 @@
 """The paper's contribution: replacement policies, the run-time replacement
 module with skip events, and the design-time mobility calculation."""
 
+from repro.core.device import DEFAULT_RECONFIG_LATENCY_US, Device, PAPER_DEVICE
+from repro.core.policy_spec import (
+    PolicySpec,
+    fig9a_specs,
+    fig9b_specs,
+    fig9c_specs,
+    lfd_spec,
+    local_lfd_spec,
+    lru_spec,
+)
 from repro.core.policies import (
     ClockPolicy,
     FIFOPolicy,
@@ -28,6 +38,16 @@ from repro.core.mobility import (
 from repro.core.dynamic_list import DynamicList, replay_fig1
 
 __all__ = [
+    "DEFAULT_RECONFIG_LATENCY_US",
+    "Device",
+    "PAPER_DEVICE",
+    "PolicySpec",
+    "fig9a_specs",
+    "fig9b_specs",
+    "fig9c_specs",
+    "lfd_spec",
+    "local_lfd_spec",
+    "lru_spec",
     "ClockPolicy",
     "FIFOPolicy",
     "LFDPolicy",

@@ -1,0 +1,73 @@
+"""The hardware description: a device with equal reconfigurable units.
+
+The paper evaluates one device family — ``n`` equal reconfigurable units
+(RUs) sharing a single reconfiguration circuitry with a fixed
+reconfiguration latency.  :class:`Device` bundles those two numbers, which
+the older API smeared across ``n_rus=...``/``reconfig_latency=...``
+keyword arguments, into one first-class value that the declarative
+:class:`~repro.session.Session` API passes around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.exceptions import DeviceError
+from repro.graphs.multimedia import DEFAULT_RECONFIG_LATENCY_US
+
+
+@dataclass(frozen=True)
+class Device:
+    """A reconfigurable device: ``n_rus`` equal RUs, one shared circuitry.
+
+    Attributes
+    ----------
+    n_rus:
+        Number of reconfigurable units (the paper sweeps 4..10).
+    reconfig_latency:
+        Latency of one reconfiguration in integer µs (paper: 4000).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    n_rus: int
+    reconfig_latency: int = DEFAULT_RECONFIG_LATENCY_US  # 4 ms, the paper's value
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_rus < 1:
+            raise DeviceError(f"n_rus must be >= 1, got {self.n_rus}")
+        if self.reconfig_latency < 0:
+            raise DeviceError(
+                f"reconfig_latency must be >= 0, got {self.reconfig_latency}"
+            )
+
+    @property
+    def reconfig_latency_ms(self) -> float:
+        return self.reconfig_latency / 1000.0
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.n_rus} RUs @ {self.reconfig_latency_ms:g} ms"
+
+    def with_rus(self, n_rus: int) -> "Device":
+        """Same device family, different RU count."""
+        return replace(self, n_rus=n_rus)
+
+    def with_latency(self, reconfig_latency: int) -> "Device":
+        """Same device family, different reconfiguration latency."""
+        return replace(self, reconfig_latency=reconfig_latency)
+
+    def sweep(self, ru_counts: Sequence[int]) -> Tuple["Device", ...]:
+        """The device sized at each RU count (the paper's Fig. 9 x-axis)."""
+        return tuple(self.with_rus(n) for n in ru_counts)
+
+    @classmethod
+    def from_workload(cls, workload) -> "Device":
+        """Device implied by a :class:`~repro.workloads.sequence.Workload`."""
+        return cls(n_rus=workload.n_rus, reconfig_latency=workload.reconfig_latency)
+
+
+#: The 4-RU, 4 ms device of every worked example in the paper.
+PAPER_DEVICE = Device(n_rus=4, name="paper-4ru")

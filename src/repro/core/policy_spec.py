@@ -1,0 +1,125 @@
+"""Declarative policy + manager-semantics bundles.
+
+A :class:`PolicySpec` describes one *line* of a paper figure — which
+replacement policy runs, with which Dynamic-List window, whether it sees
+the oracle reference string and whether skip events are enabled — without
+instantiating any run-time object.  The :class:`~repro.session.Session`
+engine turns a spec into a fresh advisor/semantics pair per run, so specs
+are reusable, hashable-by-value and picklable (they cross process
+boundaries during parallel sweeps).
+
+Promoted from ``repro.experiments.fig9`` (where it only covered the Fig. 9
+lines) and extended with the knobs the ablation studies need: policy
+constructor arguments, the skip rule variant and the S1 cross-application
+prefetch mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Tuple
+
+from repro.core.policies.base import ReplacementPolicy
+from repro.core.policies.classic import LRUPolicy
+from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy, local_lfd_name
+from repro.core.replacement_module import PolicyAdvisor
+from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One policy configuration: everything needed to reproduce a run.
+
+    Attributes
+    ----------
+    label:
+        Display name used in tables and golden-value lookups.
+    policy_factory:
+        Callable producing a fresh :class:`ReplacementPolicy` per run.
+    lookahead_apps:
+        Dynamic-List window w ("Local LFD (w)").
+    oracle:
+        Provide the complete future reference string (the LFD baseline).
+    skip_events:
+        Enable the skip-event feature; the engine then supplies
+        design-time mobility tables automatically.
+    skip_mode:
+        ``"literal"`` (Fig. 8) or ``"prospect"`` (the A3 refinement).
+    cross_app_prefetch:
+        The S1 knob; default is the calibrated paper mode (ISOLATED).
+    policy_kwargs:
+        Constructor arguments for ``policy_factory``, stored as a tuple of
+        ``(name, value)`` pairs so the spec stays frozen and picklable
+        (e.g. ``(("seed", 7),)`` for the seeded RANDOM baseline).
+    """
+
+    label: str
+    policy_factory: Callable[..., ReplacementPolicy]
+    lookahead_apps: int = 1
+    oracle: bool = False
+    skip_events: bool = False
+    skip_mode: str = "literal"
+    cross_app_prefetch: CrossAppPrefetch = CrossAppPrefetch.ISOLATED
+    policy_kwargs: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def make_policy(self) -> ReplacementPolicy:
+        return self.policy_factory(**dict(self.policy_kwargs))
+
+    def make_advisor(self) -> PolicyAdvisor:
+        return PolicyAdvisor(
+            self.make_policy(), skip_events=self.skip_events, skip_mode=self.skip_mode
+        )
+
+    def make_semantics(self) -> ManagerSemantics:
+        return ManagerSemantics(
+            lookahead_apps=self.lookahead_apps,
+            provide_oracle=self.oracle,
+            cross_app_prefetch=self.cross_app_prefetch,
+        )
+
+    def with_label(self, label: str) -> "PolicySpec":
+        return replace(self, label=label)
+
+
+# ----------------------------------------------------------------------
+# The paper's canonical lines
+# ----------------------------------------------------------------------
+def lru_spec() -> PolicySpec:
+    """The classic cache-style baseline."""
+    return PolicySpec(label="LRU", policy_factory=LRUPolicy)
+
+
+def lfd_spec() -> PolicySpec:
+    """Belady's clairvoyant optimum (reads the oracle reference string)."""
+    return PolicySpec(label="LFD", policy_factory=LFDPolicy, oracle=True)
+
+
+def local_lfd_spec(window: int, skip_events: bool = False) -> PolicySpec:
+    """The paper's policy: LFD over the w-application Dynamic List."""
+    return PolicySpec(
+        label=local_lfd_name(window, skip_events),
+        policy_factory=LocalLFDPolicy,
+        lookahead_apps=window,
+        skip_events=skip_events,
+    )
+
+
+def fig9a_specs() -> List[PolicySpec]:
+    """Fig. 9a lines: LRU, Local LFD (1/2/4), LFD — ASAP loading."""
+    return [lru_spec(), local_lfd_spec(1), local_lfd_spec(2), local_lfd_spec(4), lfd_spec()]
+
+
+def fig9b_specs() -> List[PolicySpec]:
+    """Fig. 9b lines: the skip-event crossover comparison."""
+    return [lru_spec(), local_lfd_spec(1), local_lfd_spec(1, skip_events=True), lfd_spec()]
+
+
+def fig9c_specs() -> List[PolicySpec]:
+    """Fig. 9c lines: remaining overhead with skip events."""
+    return [
+        lru_spec(),
+        local_lfd_spec(1, skip_events=True),
+        local_lfd_spec(2, skip_events=True),
+        local_lfd_spec(4, skip_events=True),
+        lfd_spec(),
+    ]

@@ -54,5 +54,9 @@ class WorkloadError(ReproError):
     """Invalid workload specification (empty sequence, bad weights...)."""
 
 
+class DeviceError(ReproError):
+    """Invalid device description (non-positive RU count, ...)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""

@@ -1,6 +1,6 @@
 """X-ABL — ablations of the design choices DESIGN.md calls out.
 
-Five studies, all on deterministic workloads:
+Six studies, all on deterministic workloads:
 
 * **A1 — Dynamic-List window**: reuse/overhead vs window 0..8; shows the
   diminishing returns past w=4 that justify the paper's small windows.
@@ -10,28 +10,33 @@ Five studies, all on deterministic workloads:
 * **A4 — policy zoo**: FIFO/MRU/RANDOM alongside the paper's policies.
 * **A5 — reconfiguration latency sweep**: how the Local LFD advantage
   scales with the latency/exec-time ratio.
+* **A6 — dynamic arrivals**: how late knowledge degrades Local LFD.
+
+Every study describes its configurations as :class:`PolicySpec` values and
+runs them through one :class:`~repro.session.Session` per workload, so the
+zero-latency ideal and the mobility tables are computed once and shared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.core.mobility import MobilityCalculator
 from repro.core.policies.classic import FIFOPolicy, LRUPolicy, MRUPolicy, RandomPolicy
 from repro.core.policies.extended import ClockPolicy, LFUPolicy, LRUKPolicy
 from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy
-from repro.core.replacement_module import PolicyAdvisor
+from repro.core.policy_spec import PolicySpec
+from repro.metrics.energy import reconfiguration_energy
+from repro.session import ArtifactCache, Session
+from repro.sim.semantics import CrossAppPrefetch
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import TextTable
 from repro.workloads.arrival import (
     bursty_arrivals,
     periodic_arrivals,
     poisson_arrivals,
     saturated_arrivals,
 )
-from repro.metrics.energy import reconfiguration_energy
-from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
-from repro.sim.simulator import SimulationResult, ideal_makespan, simulate
-from repro.util.tables import TextTable
 from repro.workloads.scenarios import paper_evaluation_workload
 from repro.workloads.sequence import Workload
 
@@ -60,166 +65,111 @@ def _row(label: str, result: SimulationResult, graphs) -> AblationRow:
     )
 
 
+def _session(
+    workload: Optional[Workload], cache: Optional[ArtifactCache] = None
+) -> Session:
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    return Session(workload=workload, cache=cache)
+
+
+def _local_lfd(window: int, **overrides) -> PolicySpec:
+    return PolicySpec(
+        label=f"Local LFD ({window})",
+        policy_factory=LocalLFDPolicy,
+        lookahead_apps=window,
+        **overrides,
+    )
+
+
 def run_window_sweep(
     workload: Optional[Workload] = None,
     windows: Sequence[int] = (0, 1, 2, 4, 8),
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A1: Local LFD reuse/overhead as the DL window grows."""
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
-    ideal = ideal_makespan(apps, workload.n_rus)
-    rows = []
-    for w in windows:
-        result = simulate(
-            apps,
-            workload.n_rus,
-            workload.reconfig_latency,
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=w),
-            ideal_makespan_us=ideal,
-        )
-        rows.append(_row(f"Local LFD ({w})", result, apps))
-    lfd = simulate(
-        apps,
-        workload.n_rus,
-        workload.reconfig_latency,
-        PolicyAdvisor(LFDPolicy()),
-        ManagerSemantics(provide_oracle=True),
-        ideal_makespan_us=ideal,
-    )
-    rows.append(_row("LFD (oracle)", lfd, apps))
+    session = _session(workload, cache)
+    apps = session.workload.apps
+    rows = [
+        _row(f"Local LFD ({w})", session.run(_local_lfd(w)), apps) for w in windows
+    ]
+    oracle = PolicySpec(label="LFD (oracle)", policy_factory=LFDPolicy, oracle=True)
+    rows.append(_row("LFD (oracle)", session.run(oracle), apps))
     return rows
 
 
 def run_semantics_ablation(
     workload: Optional[Workload] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A2: the S1 cross-application-prefetch knob under Local LFD (1)."""
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
-    ideal = ideal_makespan(apps, workload.n_rus)
-    rows = []
-    for mode in CrossAppPrefetch:
-        result = simulate(
+    session = _session(workload, cache)
+    apps = session.workload.apps
+    return [
+        _row(
+            f"S1={mode.value}",
+            session.run(_local_lfd(1, cross_app_prefetch=mode)),
             apps,
-            workload.n_rus,
-            workload.reconfig_latency,
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=1, cross_app_prefetch=mode),
-            ideal_makespan_us=ideal,
         )
-        rows.append(_row(f"S1={mode.value}", result, apps))
-    return rows
+        for mode in CrossAppPrefetch
+    ]
 
 
 def run_skip_mode_ablation(
     workload: Optional[Workload] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A3: literal Fig. 8 skips vs the prospect refinement."""
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
-    ideal = ideal_makespan(apps, workload.n_rus)
-    mobility = MobilityCalculator(
-        n_rus=workload.n_rus, reconfig_latency=workload.reconfig_latency
-    ).compute_tables(workload.distinct_graphs())
-    rows = []
-    rows.append(
-        _row(
-            "no skips (ASAP)",
-            simulate(
-                apps,
-                workload.n_rus,
-                workload.reconfig_latency,
-                PolicyAdvisor(LocalLFDPolicy()),
-                ManagerSemantics(lookahead_apps=1),
-                ideal_makespan_us=ideal,
-            ),
-            apps,
-        )
-    )
+    session = _session(workload, cache)
+    apps = session.workload.apps
+    rows = [_row("no skips (ASAP)", session.run(_local_lfd(1)), apps)]
     for mode in ("literal", "prospect"):
-        result = simulate(
-            apps,
-            workload.n_rus,
-            workload.reconfig_latency,
-            PolicyAdvisor(LocalLFDPolicy(), skip_events=True, skip_mode=mode),
-            ManagerSemantics(lookahead_apps=1),
-            mobility_tables=mobility,
-            ideal_makespan_us=ideal,
-        )
-        rows.append(_row(f"skip mode: {mode}", result, apps))
+        spec = _local_lfd(1, skip_events=True, skip_mode=mode)
+        rows.append(_row(f"skip mode: {mode}", session.run(spec), apps))
     return rows
 
 
 def run_policy_zoo(
     workload: Optional[Workload] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A4: every registered policy on the same workload."""
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
-    ideal = ideal_makespan(apps, workload.n_rus)
-    rows = []
+    session = _session(workload, cache)
+    apps = session.workload.apps
     zoo = [
-        ("RANDOM", PolicyAdvisor(RandomPolicy(seed=7)), ManagerSemantics()),
-        ("MRU", PolicyAdvisor(MRUPolicy()), ManagerSemantics()),
-        ("FIFO", PolicyAdvisor(FIFOPolicy()), ManagerSemantics()),
-        ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics()),
-        ("LFU", PolicyAdvisor(LFUPolicy()), ManagerSemantics()),
-        ("LRU-2", PolicyAdvisor(LRUKPolicy(k=2)), ManagerSemantics()),
-        ("CLOCK", PolicyAdvisor(ClockPolicy()), ManagerSemantics()),
-        (
-            "Local LFD (1)",
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=1),
-        ),
-        (
-            "LFD",
-            PolicyAdvisor(LFDPolicy()),
-            ManagerSemantics(provide_oracle=True),
-        ),
+        PolicySpec("RANDOM", RandomPolicy, policy_kwargs=(("seed", 7),)),
+        PolicySpec("MRU", MRUPolicy),
+        PolicySpec("FIFO", FIFOPolicy),
+        PolicySpec("LRU", LRUPolicy),
+        PolicySpec("LFU", LFUPolicy),
+        PolicySpec("LRU-2", LRUKPolicy, policy_kwargs=(("k", 2),)),
+        PolicySpec("CLOCK", ClockPolicy),
+        _local_lfd(1),
+        PolicySpec("LFD", LFDPolicy, oracle=True),
     ]
-    for label, advisor, semantics in zoo:
-        result = simulate(
-            apps,
-            workload.n_rus,
-            workload.reconfig_latency,
-            advisor,
-            semantics,
-            ideal_makespan_us=ideal,
-        )
-        rows.append(_row(label, result, apps))
-    return rows
+    return [_row(spec.label, session.run(spec), apps) for spec in zoo]
 
 
 def run_latency_sweep(
     workload: Optional[Workload] = None,
     latencies_us: Sequence[int] = (1000, 2000, 4000, 8000, 16000),
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A5: Local LFD(1) vs LRU gap as reconfiguration latency grows."""
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
+    session = _session(workload, cache)
+    apps = session.workload.apps
     rows = []
     for latency in latencies_us:
-        ideal = ideal_makespan(apps, workload.n_rus)
-        for label, advisor, semantics in (
-            ("LRU", PolicyAdvisor(LRUPolicy()), ManagerSemantics()),
-            (
-                "Local LFD (1)",
-                PolicyAdvisor(LocalLFDPolicy()),
-                ManagerSemantics(lookahead_apps=1),
-            ),
-        ):
-            result = simulate(
-                apps, workload.n_rus, latency, advisor, semantics, ideal_makespan_us=ideal
-            )
+        for spec in (PolicySpec("LRU", LRUPolicy), _local_lfd(1)):
+            result = session.run(spec, reconfig_latency=latency)
             rows.append(
-                _row(f"{label} @ {latency // 1000}ms latency", result, apps)
+                _row(f"{spec.label} @ {latency // 1000}ms latency", result, apps)
             )
     return rows
 
 
 def run_arrival_ablation(
     workload: Optional[Workload] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> List[AblationRow]:
     """A6: dynamic arrivals — how late knowledge degrades Local LFD.
 
@@ -227,10 +177,12 @@ def run_arrival_ablation(
     periodic, Poisson and bursty open-system arrivals.  Late arrivals
     shrink the effective Dynamic List (an application not yet enqueued is
     invisible), so reuse degrades towards the window-0 level as the
-    system becomes less loaded.
+    system becomes less loaded.  The session recomputes the zero-latency
+    ideal under each arrival model (idle waiting must not be misread as
+    reconfiguration overhead).
     """
-    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    apps = list(workload.apps)
+    session = _session(workload, cache)
+    apps = session.workload.apps
     n = len(apps)
     # Mean service time per application ~ critical path; pace arrivals
     # around it so the queue alternates between backlog and idle.
@@ -244,32 +196,11 @@ def run_arrival_ablation(
         ("poisson @ 1.5x service", poisson_arrivals(n, mean_cp * 1.5, seed=5)),
         ("bursty (5 @ 5x gaps)", bursty_arrivals(n, 5, 5 * mean_cp, seed=5)),
     ]
-    rows = []
-    for label, arrivals in models:
-        # The zero-latency ideal must honour the same arrival times,
-        # otherwise idle waiting would be misread as reconfiguration
-        # overhead.
-        from repro.sim.manager import ExecutionManager
-        from repro.sim.simulator import _FirstCandidateAdvisor
-
-        ideal = ExecutionManager(
-            graphs=apps,
-            n_rus=workload.n_rus,
-            reconfig_latency=0,
-            advisor=_FirstCandidateAdvisor(),
-            arrival_times=arrivals,
-        ).run().makespan
-        result = simulate(
-            apps,
-            workload.n_rus,
-            workload.reconfig_latency,
-            PolicyAdvisor(LocalLFDPolicy()),
-            ManagerSemantics(lookahead_apps=2),
-            arrival_times=arrivals,
-            ideal_makespan_us=ideal,
-        )
-        rows.append(_row(label, result, apps))
-    return rows
+    spec = _local_lfd(2)
+    return [
+        _row(label, session.run(spec, arrival_times=arrivals), apps)
+        for label, arrivals in models
+    ]
 
 
 def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
@@ -285,12 +216,16 @@ def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
 
 
 def render_all_ablations(workload: Optional[Workload] = None) -> str:
+    # Resolve the default workload once and share one artifact cache, so
+    # the six studies really do compute each design-time artifact once.
+    workload = workload or paper_evaluation_workload(length=200, n_rus=6)
+    cache = ArtifactCache()
     sections = [
-        render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload)),
-        render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload)),
-        render_ablation_rows("A3 — skip rule", run_skip_mode_ablation(workload)),
-        render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload)),
-        render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload)),
-        render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload)),
+        render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload, cache=cache)),
+        render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload, cache=cache)),
+        render_ablation_rows("A3 — skip rule", run_skip_mode_ablation(workload, cache=cache)),
+        render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload, cache=cache)),
+        render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload, cache=cache)),
+        render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload, cache=cache)),
     ]
     return "\n\n".join(sections)

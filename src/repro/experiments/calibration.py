@@ -29,7 +29,7 @@ from repro.graphs.builders import TaskGraphBuilder
 from repro.graphs.task_graph import TaskGraph
 from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
 from repro.sim.simtime import ms
-from repro.sim.simulator import simulate
+from repro.sim.simulator import run_simulation
 
 N_RUS = 4
 LATENCY = ms(4)
@@ -112,7 +112,7 @@ def evaluate_fig2(candidate: Fig2Candidate) -> Optional[Dict[str, Tuple[float, f
     }
     for label, (advisor, semantics) in runs.items():
         try:
-            result = simulate(apps, N_RUS, LATENCY, advisor, semantics)
+            result = run_simulation(apps, N_RUS, LATENCY, advisor, semantics)
         except SimulationError:
             return None
         out[label] = (round(result.reuse_pct, 1), result.overhead_us / 1000.0)
@@ -182,9 +182,9 @@ def evaluate_fig3(tg1: TaskGraph, tg2: TaskGraph) -> Optional[Dict[str, Dict[str
     apps = [tg1, tg2, tg1]
     semantics = ManagerSemantics(lookahead_apps=1)
     try:
-        asap = simulate(apps, N_RUS, LATENCY, PolicyAdvisor(LocalLFDPolicy()), semantics)
+        asap = run_simulation(apps, N_RUS, LATENCY, PolicyAdvisor(LocalLFDPolicy()), semantics)
         mobility = MobilityCalculator(N_RUS, LATENCY).compute_tables(apps)
-        skip = simulate(
+        skip = run_simulation(
             apps,
             N_RUS,
             LATENCY,

@@ -13,22 +13,30 @@ Shape targets from the paper: LRU avg reuse ≈30.1 %, LFD ≈46.0 %,
 Local LFD(4) ≈45.9 %; with skips Local LFD(1) ≈48.2 % vs LFD ≈44.4 %;
 remaining overhead LRU ≈19.2 % at 4 RUs, LFD avg ≈7.2 %,
 Local LFD(4)+Skip avg ≈8.9 %.
+
+The sweeps run through :class:`repro.session.Session`: design-time
+artifacts (mobility tables, zero-latency ideals) are cached once per
+``(workload, n_rus)`` and shared by every spec, and ``parallel=N`` fans
+the cells out over worker processes.  :class:`PolicySpec` and the
+spec-set constructors now live in :mod:`repro.core.policy_spec`; they are
+re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.core.mobility import MobilityCalculator
-from repro.core.policies.base import ReplacementPolicy
-from repro.core.policies.classic import LRUPolicy
-from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy, local_lfd_name
-from repro.core.replacement_module import PolicyAdvisor
-from repro.metrics.summary import PolicyRunRecord, SweepResult
-from repro.sim.manager import MobilityTables
-from repro.sim.semantics import ManagerSemantics
-from repro.sim.simulator import ideal_makespan, simulate
+from repro.core.policy_spec import (  # noqa: F401  (re-exported legacy API)
+    PolicySpec,
+    fig9a_specs,
+    fig9b_specs,
+    fig9c_specs,
+    lfd_spec,
+    local_lfd_spec,
+    lru_spec,
+)
+from repro.metrics.summary import SweepResult
+from repro.session import Session, SessionHooks
 from repro.workloads.scenarios import paper_evaluation_workload
 from repro.workloads.sequence import Workload
 
@@ -36,124 +44,59 @@ from repro.workloads.sequence import Workload
 PAPER_RU_COUNTS: Tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10)
 
 
-@dataclass(frozen=True)
-class PolicySpec:
-    """One line of a Fig. 9 panel: policy + manager configuration."""
-
-    label: str
-    policy_factory: type
-    lookahead_apps: int = 1
-    oracle: bool = False
-    skip_events: bool = False
-
-    def make_advisor(self) -> PolicyAdvisor:
-        return PolicyAdvisor(self.policy_factory(), skip_events=self.skip_events)
-
-    def make_semantics(self) -> ManagerSemantics:
-        return ManagerSemantics(
-            lookahead_apps=self.lookahead_apps, provide_oracle=self.oracle
-        )
-
-
-def lru_spec() -> PolicySpec:
-    return PolicySpec(label="LRU", policy_factory=LRUPolicy)
-
-
-def lfd_spec() -> PolicySpec:
-    return PolicySpec(label="LFD", policy_factory=LFDPolicy, oracle=True)
-
-
-def local_lfd_spec(window: int, skip_events: bool = False) -> PolicySpec:
-    return PolicySpec(
-        label=local_lfd_name(window, skip_events),
-        policy_factory=LocalLFDPolicy,
-        lookahead_apps=window,
-        skip_events=skip_events,
-    )
-
-
-def fig9a_specs() -> List[PolicySpec]:
-    return [
-        lru_spec(),
-        local_lfd_spec(1),
-        local_lfd_spec(2),
-        local_lfd_spec(4),
-        lfd_spec(),
-    ]
-
-
-def fig9b_specs() -> List[PolicySpec]:
-    return [
-        lru_spec(),
-        local_lfd_spec(1),
-        local_lfd_spec(1, skip_events=True),
-        lfd_spec(),
-    ]
-
-
-def fig9c_specs() -> List[PolicySpec]:
-    return [
-        lru_spec(),
-        local_lfd_spec(1, skip_events=True),
-        local_lfd_spec(2, skip_events=True),
-        local_lfd_spec(4, skip_events=True),
-        lfd_spec(),
-    ]
-
-
 def run_policy_sweep(
     specs: Sequence[PolicySpec],
     title: str,
     workload: Optional[Workload] = None,
     ru_counts: Sequence[int] = PAPER_RU_COUNTS,
+    parallel: int = 1,
+    hooks: Iterable[SessionHooks] = (),
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
     Mobility tables are computed once per (graph, n_rus) — the design-time
     phase — and shared by all skip-enabled specs; the zero-latency ideal is
-    computed once per n_rus and shared by all specs.
+    computed once per n_rus and shared by all specs.  Both now come from
+    the session's content-keyed artifact cache.
     """
     if workload is None:
         workload = paper_evaluation_workload()
-    sweep = SweepResult(title=title, ru_counts=tuple(ru_counts))
-    apps = list(workload.apps)
-    needs_mobility = any(s.skip_events for s in specs)
-
-    for n_rus in ru_counts:
-        ideal = ideal_makespan(apps, n_rus)
-        mobility: Optional[MobilityTables] = None
-        if needs_mobility:
-            mobility = MobilityCalculator(
-                n_rus=n_rus, reconfig_latency=workload.reconfig_latency
-            ).compute_tables(workload.distinct_graphs())
-        for spec in specs:
-            result = simulate(
-                apps,
-                n_rus=n_rus,
-                reconfig_latency=workload.reconfig_latency,
-                advisor=spec.make_advisor(),
-                semantics=spec.make_semantics(),
-                mobility_tables=mobility if spec.skip_events else None,
-                ideal_makespan_us=ideal,
-            )
-            sweep.add(PolicyRunRecord.from_result(spec.label, n_rus, result))
-    return sweep
+    session = Session(workload=workload, hooks=hooks)
+    return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
 
 
-def run_fig9a(workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS) -> SweepResult:
+def run_fig9a(
+    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+) -> SweepResult:
     """Fig. 9a: reuse rates, ASAP loading (mobility 0 everywhere)."""
-    return run_policy_sweep(fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts)
+    return run_policy_sweep(
+        fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel
+    )
 
 
-def run_fig9b(workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS) -> SweepResult:
+def run_fig9b(
+    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+) -> SweepResult:
     """Fig. 9b: reuse rates with the Skip Event feature."""
-    return run_policy_sweep(fig9b_specs(), "Fig. 9b — reuse rate (%) with skip events", workload, ru_counts)
+    return run_policy_sweep(
+        fig9b_specs(),
+        "Fig. 9b — reuse rate (%) with skip events",
+        workload,
+        ru_counts,
+        parallel,
+    )
 
 
-def run_fig9c(workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS) -> SweepResult:
+def run_fig9c(
+    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+) -> SweepResult:
     """Fig. 9c: remaining reconfiguration overhead (%)."""
     return run_policy_sweep(
-        fig9c_specs(), "Fig. 9c — remaining reconfiguration overhead (%)", workload, ru_counts
+        fig9c_specs(),
+        "Fig. 9c — remaining reconfiguration overhead (%)",
+        workload,
+        ru_counts,
+        parallel,
     )
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator, PurelyRuntimeMobilityAdvisor
 from repro.core.policies.lfd import LocalLFDPolicy
 from repro.core.replacement_module import PolicyAdvisor
@@ -33,7 +34,9 @@ from repro.sim.ru import RUState, RUView
 from repro.util.tables import TextTable
 from repro.util.timing import measure_calls
 
-N_RUS = 4
+#: Device of the paper's worked examples (4 RUs, 4 ms latency).
+DEVICE = Device(n_rus=4, reconfig_latency=DEFAULT_RECONFIG_LATENCY_US)
+N_RUS = DEVICE.n_rus
 
 
 def _skip_exercising_context(graph_name: str, node_id: int) -> DecisionContext:
@@ -90,12 +93,12 @@ def run_hybrid_speedup(
     runtime = PurelyRuntimeMobilityAdvisor(
         policy=LocalLFDPolicy(),
         graphs_by_name={graph.name: graph},
-        n_rus=N_RUS,
-        reconfig_latency=DEFAULT_RECONFIG_LATENCY_US,
+        n_rus=DEVICE.n_rus,
+        reconfig_latency=DEVICE.reconfig_latency,
     )
     runtime_us = measure_calls(lambda: runtime.decide(ctx), calls_runtime) * 1e6
 
-    calc = MobilityCalculator(n_rus=N_RUS, reconfig_latency=DEFAULT_RECONFIG_LATENCY_US)
+    calc = MobilityCalculator(n_rus=DEVICE.n_rus, reconfig_latency=DEVICE.reconfig_latency)
     import time
 
     t0 = time.perf_counter()

@@ -14,20 +14,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
+from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
-from repro.core.policies.classic import LRUPolicy
-from repro.core.policies.lfd import LFDPolicy, LocalLFDPolicy
-from repro.core.replacement_module import PolicyAdvisor
+from repro.core.policy_spec import lfd_spec, local_lfd_spec, lru_spec
 from repro.graphs.builders import TaskGraphBuilder
 from repro.graphs.task_graph import TaskGraph
-from repro.sim.semantics import ManagerSemantics
+from repro.session import Session
 from repro.sim.simtime import ms
-from repro.sim.simulator import SimulationResult, simulate
+from repro.sim.simulator import SimulationResult
 from repro.util.tables import TextTable
+from repro.workloads.sequence import Workload
 
 #: Device used by every worked example in the paper.
-N_RUS = 4
-RECONFIG_LATENCY = ms(4)
+PAPER_EXAMPLE_DEVICE = Device(n_rus=4, reconfig_latency=ms(4), name="paper-example")
+N_RUS = PAPER_EXAMPLE_DEVICE.n_rus
+RECONFIG_LATENCY = PAPER_EXAMPLE_DEVICE.reconfig_latency
 
 
 # ----------------------------------------------------------------------
@@ -141,34 +142,27 @@ def _row(
     )
 
 
+def _example_session(apps: List[TaskGraph], name: str) -> Session:
+    workload = Workload(
+        apps=tuple(apps),
+        n_rus=PAPER_EXAMPLE_DEVICE.n_rus,
+        reconfig_latency=PAPER_EXAMPLE_DEVICE.reconfig_latency,
+        name=name,
+    )
+    return Session(PAPER_EXAMPLE_DEVICE, workload)
+
+
 def run_fig2() -> List[MotivationalRow]:
     """Reproduce Fig. 2: LRU vs LFD vs Local LFD(1), ASAP, 4 RUs.
 
     Paper values: LRU 16.7 % / 22 ms; LFD 41.7 % / 11 ms;
     Local LFD 41.7 % / 15 ms.
     """
-    apps = fig2_sequence()
-    lru = simulate(
-        apps, N_RUS, RECONFIG_LATENCY, PolicyAdvisor(LRUPolicy()), ManagerSemantics()
-    )
-    lfd = simulate(
-        apps,
-        N_RUS,
-        RECONFIG_LATENCY,
-        PolicyAdvisor(LFDPolicy()),
-        ManagerSemantics(provide_oracle=True),
-    )
-    local = simulate(
-        apps,
-        N_RUS,
-        RECONFIG_LATENCY,
-        PolicyAdvisor(LocalLFDPolicy()),
-        ManagerSemantics(lookahead_apps=1),
-    )
+    session = _example_session(fig2_sequence(), "fig2")
     return [
-        _row("LRU", lru, 16.7, 22.0),
-        _row("LFD", lfd, 41.7, 11.0),
-        _row("Local LFD (1)", local, 41.7, 15.0),
+        _row("LRU", session.run(lru_spec()), 16.7, 22.0),
+        _row("LFD", session.run(lfd_spec()), 41.7, 11.0),
+        _row("Local LFD (1)", session.run(local_lfd_spec(1)), 41.7, 15.0),
     ]
 
 
@@ -178,22 +172,9 @@ def run_fig3() -> List[MotivationalRow]:
     Paper values: ASAP — reuse 0 %, overhead 12 ms, makespan 74 ms;
     Skip Events — reuse 10 %, overhead 8 ms, makespan 70 ms.
     """
-    apps = fig3_sequence()
-    semantics = ManagerSemantics(lookahead_apps=1)
-    asap = simulate(
-        apps, N_RUS, RECONFIG_LATENCY, PolicyAdvisor(LocalLFDPolicy()), semantics
-    )
-    mobility = MobilityCalculator(
-        n_rus=N_RUS, reconfig_latency=RECONFIG_LATENCY
-    ).compute_tables(apps)
-    skip = simulate(
-        apps,
-        N_RUS,
-        RECONFIG_LATENCY,
-        PolicyAdvisor(LocalLFDPolicy(), skip_events=True),
-        semantics,
-        mobility_tables=mobility,
-    )
+    session = _example_session(fig3_sequence(), "fig3")
+    asap = session.run(local_lfd_spec(1))
+    skip = session.run(local_lfd_spec(1, skip_events=True))
     return [
         _row("Local LFD ASAP", asap, 0.0, 12.0),
         _row("Local LFD + Skip Events", skip, 10.0, 8.0),

@@ -50,14 +50,19 @@ def run_sensitivity(
     length: int = 150,
     ru_counts: Sequence[int] = (4, 6, 8, 10),
     specs: Optional[List[PolicySpec]] = None,
+    parallel: int = 1,
 ) -> SensitivityReport:
-    """Run the Fig. 9b comparison across ``seeds``."""
+    """Run the Fig. 9b comparison across ``seeds``.
+
+    ``parallel`` fans each seed's sweep cells out over worker processes
+    (results are identical for any value; only wall-clock changes).
+    """
     specs = specs if specs is not None else fig9b_specs()
     per_policy: Dict[str, List[float]] = {s.label: [] for s in specs}
     crossovers = 0
     for seed in seeds:
         workload = paper_evaluation_workload(length=length, seed=seed)
-        sweep = run_policy_sweep(specs, f"seed {seed}", workload, ru_counts)
+        sweep = run_policy_sweep(specs, f"seed {seed}", workload, ru_counts, parallel)
         for spec in specs:
             per_policy[spec.label].append(sweep.average(spec.label, "reuse_pct"))
         skip_label = next(

@@ -1,0 +1,496 @@
+"""The declarative experiment engine: ``Session(device, workload)``.
+
+The paper's pipeline is "design-time analysis once, run-time reuse many
+times".  :class:`Session` makes that the shape of the public API instead of
+something every experiment re-wires by hand:
+
+* a :class:`~repro.core.device.Device` describes the hardware,
+* a :class:`~repro.workloads.sequence.Workload` (or a registered scenario
+  name) describes the software,
+* a :class:`~repro.core.policy_spec.PolicySpec` describes one policy line,
+
+and the session runs any number of ``(spec, n_rus)`` cells over them,
+computing the design-time artifacts — mobility tables and the
+zero-latency ideal makespan — **once** per ``(workload, n_rus)`` in a
+content-keyed :class:`ArtifactCache` shared by every cell.
+
+``Session.sweep(specs, ru_counts, parallel=N)`` fans independent cells out
+over a :class:`concurrent.futures.ProcessPoolExecutor`; ``Session.grid``
+adds a reconfiguration-latency axis for cartesian studies.  Observers can
+subscribe to the run lifecycle through :class:`SessionHooks`.
+
+Example::
+
+    from repro import Device, Session, local_lfd_spec, lru_spec
+
+    session = Session(Device(4), "quick")
+    sweep = session.sweep([lru_spec(), local_lfd_spec(1, skip_events=True)],
+                          ru_counts=(4, 6, 8), parallel=2)
+    print(sweep.render_table("reuse_pct", "% reuse"))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.device import Device
+from repro.core.mobility import MobilityCalculator
+from repro.core.policy_spec import PolicySpec
+from repro.exceptions import ExperimentError
+from repro.graphs.serialization import graph_to_dict
+from repro.graphs.task_graph import TaskGraph
+from repro.metrics.summary import PolicyRunRecord, SweepResult
+from repro.sim.manager import MobilityTables
+from repro.sim.simulator import SimulationResult, ideal_makespan, run_simulation
+from repro.workloads.sequence import Workload
+
+
+# ----------------------------------------------------------------------
+# Content keys and the design-time artifact cache
+# ----------------------------------------------------------------------
+def workload_content_key(workload: Workload) -> str:
+    """Stable digest of a workload's *content* (graphs + sequence).
+
+    Two workloads with identical application structures and identical
+    sequences share design-time artifacts regardless of how they were
+    constructed, so the cache keys on content rather than object identity
+    or scenario name.
+    """
+    payload = {
+        "graphs": [graph_to_dict(g) for g in workload.distinct_graphs()],
+        "sequence": [g.name for g in workload.apps],
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one artifact kind (observable by tests)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def computations(self) -> int:
+        return self.misses
+
+
+class ArtifactCache:
+    """Content-keyed cache of design-time artifacts.
+
+    Stores, per ``(workload content, n_rus)``:
+
+    * the **zero-latency ideal makespan** (latency-independent — the ideal
+      run reconfigures for free, so one entry serves every latency);
+    * per ``(workload content, n_rus, reconfig_latency)`` the **mobility
+      tables** of the workload's distinct graphs (paper Fig. 6/7 —
+      latency-dependent because delayed schedules shift by it).
+
+    A cache may be shared between sessions (e.g. one session per seed over
+    the same catalog) — keys never collide across different content.
+    """
+
+    def __init__(self) -> None:
+        self._ideal: Dict[Tuple[str, int], int] = {}
+        self._mobility: Dict[Tuple[str, int, int], MobilityTables] = {}
+        self.ideal_stats = CacheStats()
+        self.mobility_stats = CacheStats()
+
+    def ideal_makespan_us(
+        self, content_key: str, apps: Sequence[TaskGraph], n_rus: int
+    ) -> int:
+        key = (content_key, n_rus)
+        if key in self._ideal:
+            self.ideal_stats.hits += 1
+            return self._ideal[key]
+        self.ideal_stats.misses += 1
+        value = ideal_makespan(apps, n_rus)
+        self._ideal[key] = value
+        return value
+
+    def mobility_tables(
+        self,
+        content_key: str,
+        distinct_graphs: Sequence[TaskGraph],
+        n_rus: int,
+        reconfig_latency: int,
+    ) -> MobilityTables:
+        key = (content_key, n_rus, reconfig_latency)
+        if key in self._mobility:
+            self.mobility_stats.hits += 1
+            return self._mobility[key]
+        self.mobility_stats.misses += 1
+        tables = MobilityCalculator(
+            n_rus=n_rus, reconfig_latency=reconfig_latency
+        ).compute_tables(distinct_graphs)
+        self._mobility[key] = tables
+        return tables
+
+
+# ----------------------------------------------------------------------
+# Event hooks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of a sweep/grid: which spec on which device sizing."""
+
+    spec: PolicySpec
+    n_rus: int
+    reconfig_latency: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.label} @ {self.n_rus} RUs"
+
+
+class SessionHooks:
+    """Observer protocol for the run lifecycle (default: ignore).
+
+    ``on_run_start`` fires before a cell executes and ``on_run_end`` after
+    it produced its record.  During parallel sweeps the start/end pairs of
+    different cells interleave and completion order is nondeterministic;
+    ``on_sweep_progress`` counts completed cells monotonically either way.
+    """
+
+    def on_run_start(self, cell: SweepCell) -> None:
+        """A cell is about to execute."""
+
+    def on_run_end(self, cell: SweepCell, record: PolicyRunRecord) -> None:
+        """A cell finished and produced ``record``."""
+
+    def on_sweep_progress(self, done: int, total: int) -> None:
+        """``done`` of ``total`` sweep cells have completed."""
+
+
+@dataclass(frozen=True)
+class GridCellRecord:
+    """One cartesian-grid measurement (adds the latency axis to a record)."""
+
+    spec_label: str
+    n_rus: int
+    reconfig_latency: int
+    record: PolicyRunRecord
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker (module level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+_WORKER_APPS: Tuple[TaskGraph, ...] = ()
+
+
+def _init_worker(apps: Tuple[TaskGraph, ...]) -> None:
+    global _WORKER_APPS
+    _WORKER_APPS = apps
+
+
+def _run_cell_in_worker(
+    spec: PolicySpec,
+    n_rus: int,
+    reconfig_latency: int,
+    mobility: Optional[MobilityTables],
+    ideal_us: int,
+) -> PolicyRunRecord:
+    result = run_simulation(
+        _WORKER_APPS,
+        n_rus=n_rus,
+        reconfig_latency=reconfig_latency,
+        advisor=spec.make_advisor(),
+        semantics=spec.make_semantics(),
+        mobility_tables=mobility,
+        ideal_makespan_us=ideal_us,
+    )
+    return PolicyRunRecord.from_result(spec.label, n_rus, result)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class Session:
+    """Runs policy specs against one workload on one device family.
+
+    Parameters
+    ----------
+    device:
+        The hardware description.  Defaults to the device implied by the
+        workload (``Workload`` carries ``n_rus``/``reconfig_latency`` for
+        self-contained scenarios).
+    workload:
+        A :class:`Workload`, or the name of a registered scenario
+        (resolved through :func:`repro.workloads.scenarios.make_scenario`;
+        extra ``scenario_kwargs`` are forwarded to the factory).
+    hooks:
+        Iterable of :class:`SessionHooks` observers.
+    cache:
+        A shared :class:`ArtifactCache`; by default each session owns one.
+    """
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        workload: Union[Workload, str, None] = None,
+        *,
+        hooks: Iterable[SessionHooks] = (),
+        cache: Optional[ArtifactCache] = None,
+        **scenario_kwargs,
+    ) -> None:
+        if workload is None:
+            raise ExperimentError("Session requires a workload (object or scenario name)")
+        if isinstance(workload, str):
+            from repro.workloads.scenarios import make_scenario
+
+            workload = make_scenario(workload, **scenario_kwargs)
+        elif scenario_kwargs:
+            raise ExperimentError(
+                "scenario keyword arguments are only valid when the workload "
+                "is given as a scenario name"
+            )
+        self.workload = workload
+        self.device = device or Device.from_workload(workload)
+        self.cache = cache or ArtifactCache()
+        self.hooks: Tuple[SessionHooks, ...] = tuple(hooks)
+        self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
+        self._content_key = workload_content_key(workload)
+
+    # -- hook fan-out ---------------------------------------------------
+    def _emit(self, method: str, *args) -> None:
+        for hook in self.hooks:
+            getattr(hook, method)(*args)
+
+    # -- design-time artifacts ------------------------------------------
+    def ideal_makespan_us(self, n_rus: Optional[int] = None) -> int:
+        """Cached zero-latency ideal for this workload at ``n_rus``."""
+        return self.cache.ideal_makespan_us(
+            self._content_key, self._apps, n_rus or self.device.n_rus
+        )
+
+    def mobility_tables(
+        self, n_rus: Optional[int] = None, reconfig_latency: Optional[int] = None
+    ) -> MobilityTables:
+        """Cached design-time mobility tables for this workload's graphs."""
+        return self.cache.mobility_tables(
+            self._content_key,
+            self.workload.distinct_graphs(),
+            n_rus or self.device.n_rus,
+            self.device.reconfig_latency if reconfig_latency is None else reconfig_latency,
+        )
+
+    def _cell_artifacts(self, cell: SweepCell):
+        mobility = (
+            self.mobility_tables(cell.n_rus, cell.reconfig_latency)
+            if cell.spec.skip_events
+            else None
+        )
+        ideal = self.ideal_makespan_us(cell.n_rus)
+        return mobility, ideal
+
+    # -- single runs ----------------------------------------------------
+    def run(
+        self,
+        spec: PolicySpec,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
+        arrival_times: Optional[Sequence[int]] = None,
+    ) -> SimulationResult:
+        """Execute one spec; returns the full :class:`SimulationResult`.
+
+        ``n_rus``/``reconfig_latency`` override the session device for this
+        run only.  With ``arrival_times`` the zero-latency ideal is
+        recomputed under the same arrivals (idle waiting must not be
+        misread as reconfiguration overhead), bypassing the cache.
+        """
+        cell = SweepCell(
+            spec=spec,
+            n_rus=n_rus or self.device.n_rus,
+            reconfig_latency=(
+                self.device.reconfig_latency if reconfig_latency is None else reconfig_latency
+            ),
+        )
+        self._emit("on_run_start", cell)
+        if arrival_times is not None:
+            # The cached ideal assumes saturated arrivals; compute a
+            # dedicated one instead of caching a value no run would use.
+            mobility = (
+                self.mobility_tables(cell.n_rus, cell.reconfig_latency)
+                if spec.skip_events
+                else None
+            )
+            ideal = _arrival_aware_ideal(self._apps, cell.n_rus, arrival_times)
+        else:
+            mobility, ideal = self._cell_artifacts(cell)
+        result = run_simulation(
+            self._apps,
+            n_rus=cell.n_rus,
+            reconfig_latency=cell.reconfig_latency,
+            advisor=spec.make_advisor(),
+            semantics=spec.make_semantics(),
+            mobility_tables=mobility,
+            arrival_times=arrival_times,
+            ideal_makespan_us=ideal,
+        )
+        self._emit(
+            "on_run_end", cell, PolicyRunRecord.from_result(spec.label, cell.n_rus, result)
+        )
+        return result
+
+    def record(self, spec: PolicySpec, n_rus: Optional[int] = None) -> PolicyRunRecord:
+        """Like :meth:`run` but returns the flat summary record."""
+        result = self.run(spec, n_rus=n_rus)
+        return PolicyRunRecord.from_result(spec.label, n_rus or self.device.n_rus, result)
+
+    # -- batches --------------------------------------------------------
+    def sweep(
+        self,
+        specs: Sequence[PolicySpec],
+        ru_counts: Optional[Sequence[int]] = None,
+        title: str = "sweep",
+        parallel: int = 1,
+    ) -> SweepResult:
+        """Run every ``(spec, n_rus)`` cell; returns a :class:`SweepResult`.
+
+        Design-time artifacts are computed once per ``n_rus`` in the parent
+        process and shared by all cells (and shipped to workers when
+        ``parallel > 1``).  Results are deterministic and identical for any
+        ``parallel`` value; only wall-clock changes.
+        """
+        if not specs:
+            raise ExperimentError("sweep requires at least one PolicySpec")
+        ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
+        cells = [
+            SweepCell(spec=spec, n_rus=n, reconfig_latency=self.device.reconfig_latency)
+            for n in ru_counts
+            for spec in specs
+        ]
+        sweep = SweepResult(title=title, ru_counts=ru_counts)
+        for record in self._run_cells(cells, parallel):
+            sweep.add(record)
+        return sweep
+
+    def grid(
+        self,
+        specs: Sequence[PolicySpec],
+        ru_counts: Optional[Sequence[int]] = None,
+        reconfig_latencies: Optional[Sequence[int]] = None,
+        parallel: int = 1,
+    ) -> List[GridCellRecord]:
+        """Cartesian product over specs x RU counts x latencies."""
+        if not specs:
+            raise ExperimentError("grid requires at least one PolicySpec")
+        ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
+        latencies = (
+            tuple(reconfig_latencies)
+            if reconfig_latencies is not None
+            else (self.device.reconfig_latency,)
+        )
+        cells = [
+            SweepCell(spec=spec, n_rus=n, reconfig_latency=lat)
+            for lat in latencies
+            for n in ru_counts
+            for spec in specs
+        ]
+        records = self._run_cells(cells, parallel)
+        return [
+            GridCellRecord(
+                spec_label=cell.spec.label,
+                n_rus=cell.n_rus,
+                reconfig_latency=cell.reconfig_latency,
+                record=record,
+            )
+            for cell, record in zip(cells, records)
+        ]
+
+    # -- execution ------------------------------------------------------
+    def _run_cells(
+        self, cells: List[SweepCell], parallel: int
+    ) -> List[PolicyRunRecord]:
+        if parallel < 1:
+            raise ExperimentError(f"parallel must be >= 1, got {parallel}")
+        total = len(cells)
+        if parallel == 1 or total <= 1:
+            records = []
+            for done, cell in enumerate(cells, start=1):
+                self._emit("on_run_start", cell)
+                mobility, ideal = self._cell_artifacts(cell)
+                record = _run_cell_local(self._apps, cell, mobility, ideal)
+                self._emit("on_run_end", cell, record)
+                self._emit("on_sweep_progress", done, total)
+                records.append(record)
+            return records
+        return self._run_cells_parallel(cells, parallel)
+
+    def _run_cells_parallel(
+        self, cells: List[SweepCell], parallel: int
+    ) -> List[PolicyRunRecord]:
+        # Design-time phase stays in the parent so the cache is shared;
+        # workers only replay the run-time phase of each cell.
+        artifacts = [self._cell_artifacts(cell) for cell in cells]
+        records: List[Optional[PolicyRunRecord]] = [None] * len(cells)
+        with ProcessPoolExecutor(
+            max_workers=min(parallel, len(cells)),
+            initializer=_init_worker,
+            initargs=(self._apps,),
+        ) as pool:
+            future_to_index = {}
+            for i, (cell, (mobility, ideal)) in enumerate(zip(cells, artifacts)):
+                self._emit("on_run_start", cell)
+                future = pool.submit(
+                    _run_cell_in_worker,
+                    cell.spec,
+                    cell.n_rus,
+                    cell.reconfig_latency,
+                    mobility,
+                    ideal,
+                )
+                future_to_index[future] = i
+            done_count = 0
+            pending = set(future_to_index)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = future_to_index[future]
+                    records[i] = future.result()
+                    done_count += 1
+                    self._emit("on_run_end", cells[i], records[i])
+                    self._emit("on_sweep_progress", done_count, len(cells))
+        missing = [i for i, r in enumerate(records) if r is None]
+        if missing:  # keeps cell/record pairing honest for grid()'s zip
+            raise ExperimentError(f"parallel sweep lost results for cells {missing}")
+        return records
+
+
+def _run_cell_local(
+    apps: Tuple[TaskGraph, ...],
+    cell: SweepCell,
+    mobility: Optional[MobilityTables],
+    ideal_us: int,
+) -> PolicyRunRecord:
+    result = run_simulation(
+        apps,
+        n_rus=cell.n_rus,
+        reconfig_latency=cell.reconfig_latency,
+        advisor=cell.spec.make_advisor(),
+        semantics=cell.spec.make_semantics(),
+        mobility_tables=mobility,
+        ideal_makespan_us=ideal_us,
+    )
+    return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)
+
+
+def _arrival_aware_ideal(
+    apps: Sequence[TaskGraph], n_rus: int, arrival_times: Sequence[int]
+) -> int:
+    """Zero-latency ideal honouring the same arrival times as the run."""
+    from repro.sim.manager import ExecutionManager
+    from repro.sim.simulator import _FirstCandidateAdvisor
+
+    return ExecutionManager(
+        graphs=apps,
+        n_rus=n_rus,
+        reconfig_latency=0,
+        advisor=_FirstCandidateAdvisor(),
+        arrival_times=arrival_times,
+    ).run().makespan

@@ -24,6 +24,7 @@ from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.simulator import (
     SimulationResult,
     ideal_makespan,
+    run_simulation,
     simulate,
     sum_of_critical_paths,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "MobilityTables",
     "SimulationResult",
     "ideal_makespan",
+    "run_simulation",
     "simulate",
     "sum_of_critical_paths",
     "render_gantt",

@@ -1,13 +1,17 @@
 """High-level simulation entry points and result records.
 
-:func:`simulate` wires an application sequence, a device configuration and
-a replacement advisor into the :class:`ExecutionManager` and returns a
-:class:`SimulationResult` with the trace and the derived headline metrics
-(reuse rate, reconfiguration overhead vs. the zero-latency ideal).
+:func:`run_simulation` wires an application sequence, a device
+configuration and a replacement advisor into the :class:`ExecutionManager`
+and returns a :class:`SimulationResult` with the trace and the derived
+headline metrics (reuse rate, reconfiguration overhead vs. the
+zero-latency ideal).  It is the single engine entry point used by
+:class:`repro.session.Session`; :func:`simulate` is the original
+seven-argument API, kept as a deprecated shim over the same engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
@@ -82,7 +86,7 @@ class SimulationResult:
         return out
 
 
-def simulate(
+def run_simulation(
     graphs: Sequence[TaskGraph],
     n_rus: int,
     reconfig_latency: int,
@@ -92,10 +96,12 @@ def simulate(
     arrival_times: Optional[Sequence[int]] = None,
     ideal_makespan_us: Optional[int] = None,
 ) -> SimulationResult:
-    """Run the sequence and compute headline metrics.
+    """Run the sequence and compute headline metrics (engine entry point).
 
     ``ideal_makespan_us`` can be supplied to avoid recomputing the
-    zero-latency baseline when sweeping policies over a fixed workload.
+    zero-latency baseline when sweeping policies over a fixed workload —
+    :class:`repro.session.Session` does this automatically through its
+    artifact cache.
     """
     manager = ExecutionManager(
         graphs=graphs,
@@ -114,6 +120,44 @@ def simulate(
         makespan_us=trace.makespan,
         ideal_makespan_us=ideal_makespan_us,
         n_apps=len(graphs),
+    )
+
+
+def simulate(
+    graphs: Sequence[TaskGraph],
+    n_rus: int,
+    reconfig_latency: int,
+    advisor: ReplacementAdvisor,
+    semantics: ManagerSemantics = ManagerSemantics(),
+    mobility_tables: Optional[MobilityTables] = None,
+    arrival_times: Optional[Sequence[int]] = None,
+    ideal_makespan_us: Optional[int] = None,
+) -> SimulationResult:
+    """Deprecated shim over the :class:`repro.session.Session` engine.
+
+    This is the original loosely-coupled entry point; it forwards to
+    :func:`run_simulation` unchanged, so existing callers keep producing
+    identical results.  New code should describe the hardware with
+    :class:`repro.core.device.Device`, the policy with
+    :class:`repro.core.policy_spec.PolicySpec` and run through
+    :class:`repro.session.Session`, which adds design-time artifact
+    caching, parallel sweeps and progress hooks on top of this engine.
+    """
+    warnings.warn(
+        "simulate() is deprecated; use repro.session.Session (or the "
+        "low-level run_simulation()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_simulation(
+        graphs,
+        n_rus=n_rus,
+        reconfig_latency=reconfig_latency,
+        advisor=advisor,
+        semantics=semantics,
+        mobility_tables=mobility_tables,
+        arrival_times=arrival_times,
+        ideal_makespan_us=ideal_makespan_us,
     )
 
 

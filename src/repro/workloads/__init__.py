@@ -18,12 +18,15 @@ from repro.workloads.sequence import (
 from repro.workloads.scenarios import (
     PAPER_SEED,
     PAPER_SEQUENCE_LENGTH,
+    ScenarioInfo,
     adversarial_round_robin_workload,
     available_scenarios,
     bursty_workload,
     make_scenario,
     paper_evaluation_workload,
     quick_workload,
+    scenario,
+    scenario_info,
 )
 
 __all__ = [
@@ -39,10 +42,13 @@ __all__ = [
     "weighted_sequence",
     "PAPER_SEED",
     "PAPER_SEQUENCE_LENGTH",
+    "ScenarioInfo",
     "adversarial_round_robin_workload",
     "available_scenarios",
     "bursty_workload",
     "make_scenario",
     "paper_evaluation_workload",
     "quick_workload",
+    "scenario",
+    "scenario_info",
 ]

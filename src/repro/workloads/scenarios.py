@@ -1,12 +1,22 @@
-"""Named, reproducible experiment scenarios.
+"""Named, reproducible experiment scenarios (self-registering).
 
 Each scenario freezes an application sequence and device parameters so
 experiments, benchmarks and the CLI all run literally the same workload.
+Scenarios register themselves with the :func:`scenario` decorator and are
+discoverable by name — the CLI's ``--scenario`` choices and ``scenarios``
+listing come straight from this registry, so adding a workload is one
+decorated factory function::
+
+    @scenario("my-workload", description="what it stresses")
+    def my_workload(n_rus: int = 4, length: int = 100) -> Workload:
+        ...
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.graphs.multimedia import DEFAULT_RECONFIG_LATENCY_US, benchmark_suite
@@ -26,6 +36,82 @@ PAPER_SEQUENCE_LENGTH = 500
 PAPER_SEED = 2011  # publication year; any fixed value works
 
 
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Registry entry: factory plus the metadata the CLI displays."""
+
+    name: str
+    factory: Callable[..., Workload]
+    description: str
+    parameters: Tuple[str, ...]
+
+
+_REGISTRY: Dict[str, ScenarioInfo] = {}
+
+
+def scenario(
+    name: str, *, description: Optional[str] = None
+) -> Callable[[Callable[..., Workload]], Callable[..., Workload]]:
+    """Decorator: register a workload factory under ``name``.
+
+    The factory's keyword parameters become the scenario's tunable knobs;
+    ``description`` defaults to the first line of the factory docstring.
+    """
+
+    def register(factory: Callable[..., Workload]) -> Callable[..., Workload]:
+        if name in _REGISTRY:
+            raise WorkloadError(f"scenario {name!r} already registered")
+        doc = (factory.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = ScenarioInfo(
+            name=name,
+            factory=factory,
+            description=description or (doc[0] if doc else ""),
+            parameters=tuple(inspect.signature(factory).parameters),
+        )
+        return factory
+
+    return register
+
+
+def available_scenarios() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def scenario_info(name: str) -> ScenarioInfo:
+    """Registry entry for ``name`` (raises :class:`WorkloadError`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+
+
+def make_scenario(name: str, **kwargs) -> Workload:
+    """Instantiate a scenario by name (CLI entry point).
+
+    Keyword arguments the factory does not accept raise
+    :class:`WorkloadError` naming the valid parameters, so callers (and
+    CLI users) get an actionable message instead of a bare ``TypeError``.
+    """
+    info = scenario_info(name)
+    unknown = sorted(set(kwargs) - set(info.parameters))
+    if unknown:
+        raise WorkloadError(
+            f"scenario {name!r} does not accept parameter(s) "
+            f"{', '.join(repr(u) for u in unknown)}; valid parameters: "
+            f"{', '.join(info.parameters) or '(none)'}"
+        )
+    return info.factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+@scenario("paper-eval", description="the paper's §VI 500-app random sequence")
 def paper_evaluation_workload(
     n_rus: int = 4,
     length: int = PAPER_SEQUENCE_LENGTH,
@@ -43,6 +129,7 @@ def paper_evaluation_workload(
     )
 
 
+@scenario("quick", description="short paper-eval variant for smoke runs")
 def quick_workload(
     n_rus: int = 4,
     length: int = 60,
@@ -52,6 +139,7 @@ def quick_workload(
     return paper_evaluation_workload(n_rus=n_rus, length=length, seed=seed)
 
 
+@scenario("bursty", description="high-temporal-locality ablation workload")
 def bursty_workload(
     n_rus: int = 4,
     length: int = PAPER_SEQUENCE_LENGTH,
@@ -69,6 +157,7 @@ def bursty_workload(
     )
 
 
+@scenario("round-robin", description="cyclic worst case for short windows")
 def adversarial_round_robin_workload(
     n_rus: int = 4,
     length: int = PAPER_SEQUENCE_LENGTH,
@@ -81,26 +170,3 @@ def adversarial_round_robin_workload(
         reconfig_latency=DEFAULT_RECONFIG_LATENCY_US,
         name=f"round-robin-{length}",
     )
-
-
-_SCENARIOS = {
-    "paper-eval": paper_evaluation_workload,
-    "quick": quick_workload,
-    "bursty": bursty_workload,
-    "round-robin": adversarial_round_robin_workload,
-}
-
-
-def available_scenarios() -> List[str]:
-    return sorted(_SCENARIOS)
-
-
-def make_scenario(name: str, **kwargs) -> Workload:
-    """Instantiate a scenario by name (CLI entry point)."""
-    try:
-        factory = _SCENARIOS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
-        ) from None
-    return factory(**kwargs)

@@ -83,3 +83,61 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "Seed sensitivity" in out and "beats LFD" in out
+
+    def test_all_command_smoke(self, capsys):
+        # Regression: a local `report = run_sensitivity(...)` used to shadow
+        # the experiments.report module and crash `all` with UnboundLocalError.
+        assert main(
+            ["all", "--length", "10", "--rus", "4", "--no-timing", "--no-ablation"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MAIN EVALUATION" in out and "Fig. 9a" in out
+
+    def test_fig9a_with_jobs(self, capsys):
+        assert main(
+            ["fig9a", "--length", "12", "--rus", "4", "5", "--jobs", "2"]
+        ) == 0
+        assert "Avg." in capsys.readouterr().out
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-eval", "quick", "bursty", "round-robin"):
+            assert name in out
+        assert "description" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(
+            ["sweep", "--scenario", "quick", "--length", "15", "--rus", "4", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Local LFD (4)" in out and "design-time cache" in out
+
+    def test_sweep_command_parallel_panel(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert main(
+            [
+                "sweep",
+                "--panel", "fig9b",
+                "--scenario", "quick",
+                "--length", "15",
+                "--rus", "4",
+                "--jobs", "2",
+                "--export-csv", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skip events" in out
+        assert path.read_text().startswith("policy_label,")
+
+    def test_sweep_matches_fig9a_command(self, capsys):
+        """The sweep subcommand reproduces the fig9a artifact numbers."""
+        assert main(["fig9a", "--length", "15", "--rus", "4"]) == 0
+        fig9a_out = capsys.readouterr().out
+        assert main(
+            ["sweep", "--panel", "fig9a", "--length", "15", "--rus", "4"]
+        ) == 0
+        sweep_out = capsys.readouterr().out
+        fig9a_rows = [l for l in fig9a_out.splitlines() if l.startswith("| L")]
+        sweep_rows = [l for l in sweep_out.splitlines() if l.startswith("| L")]
+        assert fig9a_rows == sweep_rows

@@ -1,0 +1,139 @@
+"""Golden-value regression: the Session-based experiments reproduce the
+seed code's numbers exactly.
+
+The expected values below were captured by running the *seed* (pre-Session)
+implementations of ``run_fig9a/b/c``, the ablations and the sensitivity
+study at commit 2a1760c on short deterministic workloads.  The migrated
+code paths must produce identical numbers cell-for-cell — the declarative
+API is a refactor of the wiring, not of the model.
+"""
+
+import pytest
+
+from repro.experiments.ablation import run_policy_zoo, run_window_sweep
+from repro.experiments.fig9 import run_fig9a, run_fig9b, run_fig9c
+from repro.experiments.sensitivity import run_sensitivity
+from repro.workloads.scenarios import paper_evaluation_workload
+
+RU_SUBSET = (4, 6)
+
+#: (policy label, n_rus, reuse %, remaining overhead %, skips) per cell.
+GOLDEN_FIG9A = [
+    ("LRU", 4, 12.096774, 17.741935, 0),
+    ("Local LFD (1)", 4, 21.774194, 17.741935, 0),
+    ("Local LFD (2)", 4, 21.774194, 17.741935, 0),
+    ("Local LFD (4)", 4, 21.774194, 17.741935, 0),
+    ("LFD", 4, 21.774194, 17.741935, 0),
+    ("LRU", 6, 36.290323, 12.903226, 0),
+    ("Local LFD (1)", 6, 43.548387, 10.483871, 0),
+    ("Local LFD (2)", 6, 43.548387, 8.064516, 0),
+    ("Local LFD (4)", 6, 44.354839, 7.258065, 0),
+    ("LFD", 6, 44.354839, 7.258065, 0),
+]
+
+GOLDEN_FIG9B = [
+    ("LRU", 4, 12.096774, 17.741935, 0),
+    ("Local LFD (1)", 4, 21.774194, 17.741935, 0),
+    ("Local LFD (1) + Skip", 4, 30.645161, 29.83871, 28),
+    ("LFD", 4, 21.774194, 17.741935, 0),
+    ("LRU", 6, 36.290323, 12.903226, 0),
+    ("Local LFD (1)", 6, 43.548387, 10.483871, 0),
+    ("Local LFD (1) + Skip", 6, 50.0, 10.483871, 7),
+    ("LFD", 6, 44.354839, 7.258065, 0),
+]
+
+GOLDEN_FIG9C = [
+    ("LRU", 4, 12.096774, 17.741935, 0),
+    ("Local LFD (1) + Skip", 4, 30.645161, 29.83871, 28),
+    ("Local LFD (2) + Skip", 4, 32.258065, 36.693548, 38),
+    ("Local LFD (4) + Skip", 4, 32.258065, 38.306452, 47),
+    ("LFD", 4, 21.774194, 17.741935, 0),
+    ("LRU", 6, 36.290323, 12.903226, 0),
+    ("Local LFD (1) + Skip", 6, 50.0, 10.483871, 7),
+    ("Local LFD (2) + Skip", 6, 52.419355, 8.870968, 21),
+    ("Local LFD (4) + Skip", 6, 52.419355, 11.290323, 29),
+    ("LFD", 6, 44.354839, 7.258065, 0),
+]
+
+#: (label, reuse %, remaining overhead %, reconfigs) on length=30/5 RUs.
+GOLDEN_ZOO = [
+    ("RANDOM", 28.86, 15.44, 106),
+    ("MRU", 32.89, 14.77, 100),
+    ("FIFO", 20.81, 15.44, 118),
+    ("LRU", 26.17, 15.44, 110),
+    ("LFU", 26.17, 15.44, 110),
+    ("LRU-2", 20.81, 15.44, 118),
+    ("CLOCK", 20.81, 15.44, 118),
+    ("Local LFD (1)", 32.89, 14.77, 100),
+    ("LFD", 32.89, 14.77, 100),
+]
+
+GOLDEN_WINDOW = [
+    ("Local LFD (0)", 32.89, 0),
+    ("Local LFD (2)", 32.89, 0),
+    ("LFD (oracle)", 32.89, 0),
+]
+
+#: Per-seed average reuse of the sensitivity study (seeds 1/2, length 20).
+GOLDEN_SENSITIVITY = {
+    "LRU": (14.29, 14.29),
+    "Local LFD (1)": (25.51, 19.39),
+    "Local LFD (1) + Skip": (32.65, 28.57),
+    "LFD": (25.51, 19.39),
+}
+
+
+@pytest.fixture(scope="module")
+def workload25():
+    return paper_evaluation_workload(length=25)
+
+
+@pytest.fixture(scope="module")
+def workload30():
+    return paper_evaluation_workload(length=30, n_rus=5)
+
+
+def _cells(sweep):
+    return [
+        (
+            r.policy_label,
+            r.n_rus,
+            round(r.reuse_pct, 6),
+            round(r.remaining_overhead_pct, 6),
+            r.n_skips,
+        )
+        for r in sweep.records
+    ]
+
+
+@pytest.mark.parametrize(
+    "runner,golden",
+    [(run_fig9a, GOLDEN_FIG9A), (run_fig9b, GOLDEN_FIG9B), (run_fig9c, GOLDEN_FIG9C)],
+    ids=["fig9a", "fig9b", "fig9c"],
+)
+def test_fig9_matches_seed(workload25, runner, golden):
+    assert _cells(runner(workload25, ru_counts=RU_SUBSET)) == golden
+
+
+def test_fig9_parallel_matches_seed(workload25):
+    """The acceptance criterion's parallel leg: same goldens, 2 workers."""
+    sweep = run_fig9a(workload25, ru_counts=RU_SUBSET, parallel=2)
+    assert _cells(sweep) == GOLDEN_FIG9A
+
+
+def test_policy_zoo_matches_seed(workload30):
+    rows = run_policy_zoo(workload30)
+    assert [
+        (r.label, r.reuse_pct, r.remaining_overhead_pct, r.n_reconfigs) for r in rows
+    ] == GOLDEN_ZOO
+
+
+def test_window_sweep_matches_seed(workload30):
+    rows = run_window_sweep(workload30, windows=(0, 2))
+    assert [(r.label, r.reuse_pct, r.n_skips) for r in rows] == GOLDEN_WINDOW
+
+
+def test_sensitivity_matches_seed():
+    report = run_sensitivity(seeds=(1, 2), length=20, ru_counts=(4,))
+    assert {r.policy_label: r.per_seed for r in report.results} == GOLDEN_SENSITIVITY
+    assert report.crossover_rate == 1.0

@@ -1,0 +1,351 @@
+"""Tests for the declarative experiment API (Device/PolicySpec/Session).
+
+Covers the PR-1 acceptance criteria: sweep results equal the seed-style
+sequential ``simulate()`` loop cell-for-cell, ``parallel=2`` equals
+``parallel=1``, design-time artifact cache hits are observable, and the
+``simulate()`` deprecation shim keeps working.
+"""
+
+import os
+
+import pytest
+
+from repro.core.device import Device, PAPER_DEVICE
+from repro.core.mobility import MobilityCalculator
+from repro.core.policy_spec import (
+    PolicySpec,
+    fig9a_specs,
+    fig9b_specs,
+    lfd_spec,
+    local_lfd_spec,
+    lru_spec,
+)
+from repro.core.policies.classic import LRUPolicy
+from repro.core.policies.extended import LRUKPolicy
+from repro.exceptions import DeviceError, ExperimentError, WorkloadError
+from repro.metrics.summary import PolicyRunRecord
+from repro.session import (
+    ArtifactCache,
+    Session,
+    SessionHooks,
+    SweepCell,
+    workload_content_key,
+)
+from repro.sim.simulator import ideal_makespan, run_simulation, simulate
+from repro.workloads.scenarios import (
+    make_scenario,
+    paper_evaluation_workload,
+    quick_workload,
+    scenario_info,
+)
+
+RU_SUBSET = (4, 6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return quick_workload(length=25)
+
+
+@pytest.fixture(scope="module")
+def session(workload):
+    return Session(Device(4), workload)
+
+
+class TestDevice:
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            Device(0)
+        with pytest.raises(DeviceError):
+            Device(4, reconfig_latency=-1)
+
+    def test_with_rus_and_sweep(self):
+        assert Device(4).with_rus(8).n_rus == 8
+        assert [d.n_rus for d in Device(4).sweep((4, 6))] == [4, 6]
+        assert Device(4).with_latency(9).reconfig_latency == 9
+
+    def test_from_workload(self, workload):
+        device = Device.from_workload(workload)
+        assert device.n_rus == workload.n_rus
+        assert device.reconfig_latency == workload.reconfig_latency
+
+    def test_paper_device(self):
+        assert PAPER_DEVICE.n_rus == 4
+        assert PAPER_DEVICE.reconfig_latency == 4000
+        assert "paper" in PAPER_DEVICE.label
+
+
+class TestPolicySpec:
+    def test_policy_kwargs(self):
+        spec = PolicySpec("LRU-2", LRUKPolicy, policy_kwargs=(("k", 2),))
+        policy = spec.make_policy()
+        assert isinstance(policy, LRUKPolicy)
+
+    def test_make_semantics(self):
+        spec = local_lfd_spec(3)
+        sem = spec.make_semantics()
+        assert sem.lookahead_apps == 3 and not sem.provide_oracle
+        assert lfd_spec().make_semantics().provide_oracle
+
+    def test_with_label(self):
+        assert lru_spec().with_label("renamed").label == "renamed"
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        for spec in fig9a_specs() + fig9b_specs():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestSessionRun:
+    def test_run_matches_seed_style_simulate(self, workload):
+        """Session.run == the seed code's hand-wired simulate() call."""
+        session = Session(Device(4), workload)
+        spec = local_lfd_spec(1, skip_events=True)
+
+        mobility = MobilityCalculator(
+            n_rus=4, reconfig_latency=workload.reconfig_latency
+        ).compute_tables(workload.distinct_graphs())
+        expected = run_simulation(
+            list(workload.apps),
+            n_rus=4,
+            reconfig_latency=workload.reconfig_latency,
+            advisor=spec.make_advisor(),
+            semantics=spec.make_semantics(),
+            mobility_tables=mobility,
+        )
+        got = session.run(spec)
+        assert got.makespan_us == expected.makespan_us
+        assert got.reuse_pct == expected.reuse_pct
+        assert got.trace.n_skips == expected.trace.n_skips
+
+    def test_scenario_name_workload(self):
+        session = Session(Device(4), "quick", length=10)
+        assert session.workload.n_apps == 10
+
+    def test_scenario_kwargs_rejected_for_workload_object(self, workload):
+        with pytest.raises(ExperimentError):
+            Session(Device(4), workload, length=10)
+
+    def test_requires_workload(self):
+        with pytest.raises(ExperimentError):
+            Session(Device(4))
+
+    def test_device_defaults_from_workload(self, workload):
+        assert Session(workload=workload).device.n_rus == workload.n_rus
+
+
+class TestSweep:
+    def test_sweep_equals_sequential_simulate_cell_for_cell(self, workload):
+        """Acceptance: the engine reproduces the seed sweep loop exactly."""
+        specs = fig9b_specs()
+        sweep = Session(workload=workload).sweep(specs, ru_counts=RU_SUBSET)
+
+        expected_records = []
+        for n_rus in RU_SUBSET:
+            ideal = ideal_makespan(list(workload.apps), n_rus)
+            mobility = MobilityCalculator(
+                n_rus=n_rus, reconfig_latency=workload.reconfig_latency
+            ).compute_tables(workload.distinct_graphs())
+            for spec in specs:
+                result = run_simulation(
+                    list(workload.apps),
+                    n_rus=n_rus,
+                    reconfig_latency=workload.reconfig_latency,
+                    advisor=spec.make_advisor(),
+                    semantics=spec.make_semantics(),
+                    mobility_tables=mobility if spec.skip_events else None,
+                    ideal_makespan_us=ideal,
+                )
+                expected_records.append(
+                    PolicyRunRecord.from_result(spec.label, n_rus, result)
+                )
+        assert sweep.records == expected_records
+
+    def test_parallel_equals_sequential(self, workload):
+        specs = fig9a_specs()
+        a = Session(workload=workload).sweep(specs, ru_counts=RU_SUBSET, parallel=1)
+        b = Session(workload=workload).sweep(specs, ru_counts=RU_SUBSET, parallel=2)
+        assert a.records == b.records
+
+    def test_parallel_validation(self, workload):
+        with pytest.raises(ExperimentError):
+            Session(workload=workload).sweep(fig9a_specs(), parallel=0)
+
+    def test_empty_specs_rejected(self, workload):
+        with pytest.raises(ExperimentError):
+            Session(workload=workload).sweep([])
+
+    def test_default_ru_counts_is_device(self, workload):
+        sweep = Session(Device(5), workload).sweep([lru_spec()])
+        assert sweep.ru_counts == (5,)
+        assert sweep.records[0].n_rus == 5
+
+
+class TestArtifactCache:
+    def test_mobility_computed_once_per_workload_and_rus(self, workload):
+        """Acceptance: cache hits are observable, one miss per (wl, n_rus)."""
+        session = Session(workload=workload)
+        specs = [
+            local_lfd_spec(1, skip_events=True),
+            local_lfd_spec(2, skip_events=True),
+            local_lfd_spec(4, skip_events=True),
+        ]
+        session.sweep(specs, ru_counts=RU_SUBSET)
+        assert session.cache.mobility_stats.computations == len(RU_SUBSET)
+        assert session.cache.mobility_stats.hits == (len(specs) - 1) * len(RU_SUBSET)
+
+    def test_ideal_computed_once_per_rus(self, workload):
+        session = Session(workload=workload)
+        session.sweep(fig9a_specs(), ru_counts=RU_SUBSET)
+        assert session.cache.ideal_stats.computations == len(RU_SUBSET)
+
+    def test_content_key_ignores_construction_path(self):
+        w1 = quick_workload(length=15)
+        w2 = paper_evaluation_workload(length=15)
+        assert workload_content_key(w1) == workload_content_key(w2)
+
+    def test_content_key_distinguishes_sequences(self):
+        assert workload_content_key(quick_workload(length=15)) != workload_content_key(
+            quick_workload(length=16)
+        )
+
+    def test_shared_cache_across_sessions(self, workload):
+        cache = ArtifactCache()
+        Session(workload=workload, cache=cache).run(lru_spec())
+        Session(workload=workload, cache=cache).run(lru_spec())
+        assert cache.ideal_stats.misses == 1
+        assert cache.ideal_stats.hits == 1
+
+
+class _RecordingHooks(SessionHooks):
+    def __init__(self):
+        self.started = []
+        self.ended = []
+        self.progress = []
+
+    def on_run_start(self, cell):
+        self.started.append(cell)
+
+    def on_run_end(self, cell, record):
+        self.ended.append((cell, record))
+
+    def on_sweep_progress(self, done, total):
+        self.progress.append((done, total))
+
+
+class TestHooks:
+    def test_sweep_lifecycle(self, workload):
+        hooks = _RecordingHooks()
+        specs = [lru_spec(), local_lfd_spec(1)]
+        Session(workload=workload, hooks=(hooks,)).sweep(specs, ru_counts=RU_SUBSET)
+        n = len(specs) * len(RU_SUBSET)
+        assert len(hooks.started) == len(hooks.ended) == n
+        assert hooks.progress == [(i, n) for i in range(1, n + 1)]
+        assert all(isinstance(c, SweepCell) for c in hooks.started)
+
+    def test_parallel_progress_monotone(self, workload):
+        hooks = _RecordingHooks()
+        Session(workload=workload, hooks=(hooks,)).sweep(
+            [lru_spec(), local_lfd_spec(1)], ru_counts=RU_SUBSET, parallel=2
+        )
+        assert [p[0] for p in hooks.progress] == list(range(1, 5))
+
+    def test_run_hooks(self, workload):
+        hooks = _RecordingHooks()
+        Session(workload=workload, hooks=(hooks,)).run(lru_spec())
+        assert len(hooks.started) == len(hooks.ended) == 1
+        assert hooks.ended[0][1].policy_label == "LRU"
+
+
+class TestGrid:
+    def test_latency_axis(self, workload):
+        cells = Session(workload=workload).grid(
+            [lru_spec()], ru_counts=(4,), reconfig_latencies=(1000, 4000)
+        )
+        assert [c.reconfig_latency for c in cells] == [1000, 4000]
+        # Overhead scales with latency; reuse decisions may coincide.
+        assert cells[0].record.overhead_ms <= cells[1].record.overhead_ms
+
+    def test_full_cartesian(self, workload):
+        specs = [lru_spec(), local_lfd_spec(1)]
+        cells = Session(workload=workload).grid(
+            specs, ru_counts=RU_SUBSET, reconfig_latencies=(2000, 4000)
+        )
+        assert len(cells) == len(specs) * len(RU_SUBSET) * 2
+
+    def test_grid_ideal_shared_across_latencies(self, workload):
+        session = Session(workload=workload)
+        session.grid([lru_spec()], ru_counts=(4,), reconfig_latencies=(1000, 4000))
+        # The zero-latency ideal is latency-independent: one computation.
+        assert session.cache.ideal_stats.computations == 1
+
+
+class TestSimulateShim:
+    def test_simulate_warns_deprecation(self, workload):
+        with pytest.warns(DeprecationWarning, match="simulate\\(\\) is deprecated"):
+            simulate(
+                list(workload.apps[:5]),
+                n_rus=4,
+                reconfig_latency=workload.reconfig_latency,
+                advisor=lru_spec().make_advisor(),
+            )
+
+    def test_simulate_matches_run_simulation(self, workload):
+        apps = list(workload.apps[:8])
+        kwargs = dict(
+            n_rus=4,
+            reconfig_latency=workload.reconfig_latency,
+            advisor=lru_spec().make_advisor(),
+        )
+        with pytest.warns(DeprecationWarning):
+            shim = simulate(apps, **kwargs)
+        direct = run_simulation(apps, **kwargs)
+        assert shim.makespan_us == direct.makespan_us
+        assert shim.trace.n_reconfigurations == direct.trace.n_reconfigurations
+
+
+class TestScenarioRegistry:
+    def test_unknown_kwarg_raises_workload_error_with_parameters(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            make_scenario("round-robin", seed=3)
+        message = str(excinfo.value)
+        assert "'seed'" in message
+        assert "n_rus" in message and "length" in message
+
+    def test_scenario_info_metadata(self):
+        info = scenario_info("paper-eval")
+        assert info.name == "paper-eval"
+        assert "500" in info.description
+        assert "length" in info.parameters
+
+    def test_decorator_registration_and_duplicate_rejection(self):
+        from repro.workloads import scenarios as sc
+
+        @sc.scenario("test-only-scenario", description="registry test")
+        def _factory(length: int = 5):
+            return quick_workload(length=length)
+
+        try:
+            assert "test-only-scenario" in sc.available_scenarios()
+            made = sc.make_scenario("test-only-scenario", length=7)
+            assert made.n_apps == 7
+            with pytest.raises(WorkloadError):
+                sc.scenario("test-only-scenario")(_factory)
+        finally:
+            del sc._REGISTRY["test-only-scenario"]
+
+
+class TestArrivalAwareRuns:
+    def test_arrival_times_change_ideal(self, workload):
+        from repro.workloads.arrival import periodic_arrivals
+
+        session = Session(workload=workload)
+        arrivals = periodic_arrivals(workload.n_apps, 200_000)
+        spaced = session.run(local_lfd_spec(1), arrival_times=arrivals)
+        saturated = session.run(local_lfd_spec(1))
+        # With slow periodic arrivals the ideal stretches to the arrival
+        # horizon, so the measured makespan grows but the overhead doesn't
+        # book idle time as reconfiguration cost.
+        assert spaced.makespan_us > saturated.makespan_us
+        assert spaced.ideal_makespan_us > saturated.ideal_makespan_us
