@@ -54,10 +54,18 @@ from repro.graphs import (
     mpeg1_encoder,
 )
 from repro.sim import (
+    AggregateTrace,
     CrossAppPrefetch,
     ExecutionManager,
+    FullTrace,
+    JsonlTraceWriter,
     ManagerSemantics,
     PAPER_SEMANTICS,
+    TraceEvent,
+    TraceSink,
+    read_trace_events,
+    replay_events,
+    trace_from_jsonl,
     SimulationResult,
     Trace,
     ideal_makespan,
@@ -135,17 +143,25 @@ __all__ = [
     "jpeg_decoder",
     "mpeg1_encoder",
     # sim
+    "AggregateTrace",
     "CrossAppPrefetch",
     "ExecutionManager",
+    "FullTrace",
+    "JsonlTraceWriter",
     "ManagerSemantics",
     "PAPER_SEMANTICS",
     "SimulationResult",
     "Trace",
+    "TraceEvent",
+    "TraceSink",
     "ideal_makespan",
     "ms",
+    "read_trace_events",
     "render_gantt",
+    "replay_events",
     "run_simulation",
     "simulate",
+    "trace_from_jsonl",
     "validate_trace",
     # session (the declarative engine)
     "ArtifactCache",

@@ -11,17 +11,25 @@ and exposes the declarative :class:`~repro.session.Session` engine::
 
     repro scenarios                          # discoverable workload registry
     repro sweep --panel fig9b --scenario bursty --rus 4 6 8 --jobs 4
+    repro run --scenario huge-stream --length 5000 --trace-mode aggregate
+    repro run --policy lru --trace-out events.jsonl
 
 Every artifact command prints the same rows/series the paper reports, with
-the paper's values alongside for comparison.
+the paper's values alongside for comparison.  ``--trace-mode aggregate``
+streams runs through the O(1) aggregate sink (same numbers, flat memory);
+``--trace-out`` writes the full event log as JSONL for offline analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro.core.policies.registry import available_policies, make_policy
+from repro.core.policy_spec import PolicySpec
 from repro.experiments import ablation as ablation_mod
 from repro.experiments import fig9, hybrid_speedup, motivational, report, table1, table2
 from repro.session import Session, SessionHooks
@@ -45,6 +53,7 @@ COMMANDS = (
     "hybrid",
     "ablation",
     "sensitivity",
+    "run",
     "sweep",
     "scenarios",
     "all",
@@ -129,6 +138,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 3, 4, 5],
         help="seeds for the sensitivity command",
     )
+    parser.add_argument(
+        "--trace-mode",
+        choices=("full", "aggregate"),
+        default="full",
+        help=(
+            "what each simulation retains: 'full' record lists or "
+            "'aggregate' O(1) counters (identical numbers, flat memory — "
+            "use for very long workloads; default: full)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "stream the event log as JSONL to PATH ('run' command only; "
+            "implies aggregate in-memory counters)"
+        ),
+    )
+    parser.add_argument(
+        "--policy",
+        choices=available_policies(),
+        default="local-lfd",
+        help="replacement policy for the 'run' command (default: local-lfd)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="W",
+        help="Dynamic-List lookahead window for the 'run' command (default: 1)",
+    )
+    parser.add_argument(
+        "--skip-events",
+        action="store_true",
+        help="enable the skip-event feature for the 'run' command",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="store_true",
+        help="provide the clairvoyant reference string for the 'run' command",
+    )
     return parser
 
 
@@ -150,10 +201,53 @@ class _ProgressHook(SessionHooks):
             print(file=sys.stderr)
 
 
+def _run_single(args: argparse.Namespace) -> int:
+    """The ``run`` subcommand: one policy, one scenario, one trace mode."""
+    label = args.policy
+    if args.policy == "local-lfd":
+        label = f"Local LFD ({args.window})"
+    if args.skip_events:
+        label += " + Skip"
+    spec = PolicySpec(
+        label=label,
+        # partial(make_policy, name) keeps the spec picklable.
+        policy_factory=functools.partial(make_policy, args.policy),
+        lookahead_apps=args.window,
+        oracle=args.oracle,
+        skip_events=args.skip_events,
+    )
+    # --trace-out is unambiguously a path: wrap it in Path so the
+    # mode-vs-path typo heuristic never rejects e.g. 'trace.log'.
+    trace_mode = Path(args.trace_out) if args.trace_out else args.trace_mode
+    n_rus = None
+    if args.rus != list(fig9.PAPER_RU_COUNTS):  # user passed --rus
+        if len(args.rus) != 1:
+            print(
+                "error: 'run' executes one device; give a single --rus value",
+                file=sys.stderr,
+            )
+            return 2
+        n_rus = args.rus[0]
+    session = Session(workload=_workload(args), trace=trace_mode)
+    result = session.run(spec, n_rus=n_rus)
+    device_n_rus = n_rus or session.device.n_rus
+    print(
+        f"{label} on {session.workload.name!r} "
+        f"({device_n_rus} RUs @ {session.device.reconfig_latency} us):"
+    )
+    for key, value in result.summary().items():
+        print(f"  {key:>24}: {value}")
+    if args.trace_out:
+        print(f"(event log streamed to {args.trace_out})")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: one Session.sweep over a spec panel."""
     specs_factory, metric, header = SWEEP_PANELS[args.panel]
-    session = Session(workload=_workload(args), hooks=(_ProgressHook(),))
+    session = Session(
+        workload=_workload(args), hooks=(_ProgressHook(),), trace=args.trace_mode
+    )
     sweep = session.sweep(
         specs_factory(),
         ru_counts=tuple(args.rus),
@@ -200,7 +294,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig9b": fig9.render_fig9b,
             "fig9c": fig9.render_fig9c,
         }[command]
-        sweep = runner(_workload(args), tuple(args.rus), parallel=args.jobs)
+        sweep = runner(
+            _workload(args), tuple(args.rus), parallel=args.jobs, trace=args.trace_mode
+        )
         print(renderer(sweep))
         if args.export_csv:
             from repro.experiments.export import save_text, sweep_to_csv
@@ -208,6 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_text(sweep_to_csv(sweep), args.export_csv)
             print(f"(CSV written to {args.export_csv})")
         return 0
+    if command == "run":
+        return _run_single(args)
     if command == "sweep":
         return _run_sweep(args)
     if command == "scenarios":

@@ -105,6 +105,7 @@ class MobilityCalculator:
             advisor=PolicyAdvisor(self.policy_factory()),
             semantics=self.semantics,
             forced_delays=forced_delays,
+            trace="aggregate",  # only the makespan is read
         )
         return manager.run().makespan
 

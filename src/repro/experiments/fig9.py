@@ -51,31 +51,42 @@ def run_policy_sweep(
     ru_counts: Sequence[int] = PAPER_RU_COUNTS,
     parallel: int = 1,
     hooks: Iterable[SessionHooks] = (),
+    trace: str = "full",
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
     Mobility tables are computed once per (graph, n_rus) — the design-time
     phase — and shared by all skip-enabled specs; the zero-latency ideal is
     computed once per n_rus and shared by all specs.  Both now come from
-    the session's content-keyed artifact cache.
+    the session's content-keyed artifact cache.  ``trace="aggregate"``
+    streams each cell through the O(1) aggregate sink — identical records,
+    flat memory — which is what the CLI's ``--trace-mode`` selects for
+    long workloads.
     """
     if workload is None:
         workload = paper_evaluation_workload()
-    session = Session(workload=workload, hooks=hooks)
+    session = Session(workload=workload, hooks=hooks, trace=trace)
     return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
 
 
 def run_fig9a(
-    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+    workload: Optional[Workload] = None,
+    ru_counts=PAPER_RU_COUNTS,
+    parallel: int = 1,
+    trace: str = "full",
 ) -> SweepResult:
     """Fig. 9a: reuse rates, ASAP loading (mobility 0 everywhere)."""
     return run_policy_sweep(
-        fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel
+        fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel,
+        trace=trace,
     )
 
 
 def run_fig9b(
-    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+    workload: Optional[Workload] = None,
+    ru_counts=PAPER_RU_COUNTS,
+    parallel: int = 1,
+    trace: str = "full",
 ) -> SweepResult:
     """Fig. 9b: reuse rates with the Skip Event feature."""
     return run_policy_sweep(
@@ -84,11 +95,15 @@ def run_fig9b(
         workload,
         ru_counts,
         parallel,
+        trace=trace,
     )
 
 
 def run_fig9c(
-    workload: Optional[Workload] = None, ru_counts=PAPER_RU_COUNTS, parallel: int = 1
+    workload: Optional[Workload] = None,
+    ru_counts=PAPER_RU_COUNTS,
+    parallel: int = 1,
+    trace: str = "full",
 ) -> SweepResult:
     """Fig. 9c: remaining reconfiguration overhead (%)."""
     return run_policy_sweep(
@@ -97,6 +112,7 @@ def run_fig9c(
         workload,
         ru_counts,
         parallel,
+        trace=trace,
     )
 
 

@@ -18,7 +18,14 @@ from repro.util.tables import TextTable, format_series
 
 @dataclass(frozen=True)
 class PolicyRunRecord:
-    """One (policy, n_rus) measurement on a fixed workload."""
+    """One (policy, n_rus) measurement on a fixed workload.
+
+    Built from counters every trace view exposes — the classic
+    :class:`~repro.sim.trace.Trace` *and* the O(1)
+    :class:`~repro.sim.tracing.AggregateTrace` — so sweeps produce
+    identical records under any trace mode (asserted by the golden and
+    tracing test suites).
+    """
 
     policy_label: str
     n_rus: int

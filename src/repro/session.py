@@ -17,7 +17,10 @@ content-keyed :class:`ArtifactCache` shared by every cell.
 ``Session.sweep(specs, ru_counts, parallel=N)`` fans independent cells out
 over a :class:`concurrent.futures.ProcessPoolExecutor`; ``Session.grid``
 adds a reconfiguration-latency axis for cartesian studies.  Observers can
-subscribe to the run lifecycle through :class:`SessionHooks`.
+subscribe to the run lifecycle through :class:`SessionHooks` — including
+attaching custom trace sinks per cell — and ``trace="aggregate"`` (or a
+JSONL path) switches the engine to the streaming trace subsystem
+(:mod:`repro.sim.tracing`) for memory-flat runs over huge workloads.
 
 Example::
 
@@ -46,6 +49,7 @@ from repro.graphs.task_graph import TaskGraph
 from repro.metrics.summary import PolicyRunRecord, SweepResult
 from repro.sim.manager import MobilityTables
 from repro.sim.simulator import SimulationResult, ideal_makespan, run_simulation
+from repro.sim.tracing import TraceMode, TraceSink
 from repro.workloads.sequence import Workload
 
 
@@ -155,6 +159,13 @@ class SessionHooks:
     it produced its record.  During parallel sweeps the start/end pairs of
     different cells interleave and completion order is nondeterministic;
     ``on_sweep_progress`` counts completed cells monotonically either way.
+
+    ``trace_sinks`` lets an observer attach
+    :class:`~repro.sim.tracing.TraceSink` instances to a cell's event
+    stream (return one fresh sink per call — a sink observes a single
+    run).  Hook sinks are honoured on in-process runs only: during
+    ``parallel > 1`` sweeps the cells execute in worker processes and
+    sink objects cannot cross that boundary, so they are skipped there.
     """
 
     def on_run_start(self, cell: SweepCell) -> None:
@@ -165,6 +176,10 @@ class SessionHooks:
 
     def on_sweep_progress(self, done: int, total: int) -> None:
         """``done`` of ``total`` sweep cells have completed."""
+
+    def trace_sinks(self, cell: SweepCell) -> Iterable[TraceSink]:
+        """Extra trace sinks to attach to this cell's event stream."""
+        return ()
 
 
 @dataclass(frozen=True)
@@ -194,6 +209,7 @@ def _run_cell_in_worker(
     reconfig_latency: int,
     mobility: Optional[MobilityTables],
     ideal_us: int,
+    trace: TraceMode = "full",
 ) -> PolicyRunRecord:
     result = run_simulation(
         _WORKER_APPS,
@@ -203,6 +219,7 @@ def _run_cell_in_worker(
         semantics=spec.make_semantics(),
         mobility_tables=mobility,
         ideal_makespan_us=ideal_us,
+        trace=trace,
     )
     return PolicyRunRecord.from_result(spec.label, n_rus, result)
 
@@ -227,6 +244,13 @@ class Session:
         Iterable of :class:`SessionHooks` observers.
     cache:
         A shared :class:`ArtifactCache`; by default each session owns one.
+    trace:
+        Default trace mode for every run of this session: ``"full"``
+        (classic record lists, the default), ``"aggregate"`` (O(1)
+        counters — use this for very long workloads), or a JSONL output
+        path (events streamed to disk, aggregate counters in memory; only
+        valid for single runs, not sweeps).  Individual ``run``/``sweep``
+        /``grid`` calls may override it.
     """
 
     def __init__(
@@ -236,6 +260,7 @@ class Session:
         *,
         hooks: Iterable[SessionHooks] = (),
         cache: Optional[ArtifactCache] = None,
+        trace: TraceMode = "full",
         **scenario_kwargs,
     ) -> None:
         if workload is None:
@@ -253,6 +278,7 @@ class Session:
         self.device = device or Device.from_workload(workload)
         self.cache = cache or ArtifactCache()
         self.hooks: Tuple[SessionHooks, ...] = tuple(hooks)
+        self.trace_mode: TraceMode = trace
         self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
         self._content_key = workload_content_key(workload)
 
@@ -260,6 +286,22 @@ class Session:
     def _emit(self, method: str, *args) -> None:
         for hook in self.hooks:
             getattr(hook, method)(*args)
+
+    def _hook_sinks(self, cell: SweepCell) -> Tuple[TraceSink, ...]:
+        return tuple(
+            sink for hook in self.hooks for sink in hook.trace_sinks(cell)
+        )
+
+    def _batch_trace(self, trace: Optional[TraceMode], n_cells: int) -> TraceMode:
+        """Resolve a batch's trace mode; JSONL paths are per-run only."""
+        mode = self.trace_mode if trace is None else trace
+        if mode not in ("full", "aggregate") and n_cells > 1:
+            raise ExperimentError(
+                f"trace={mode!r}: a JSONL trace path is only supported for "
+                "single runs (a sweep would overwrite it once per cell); "
+                "use Session.run per cell, or trace='aggregate'"
+            )
+        return mode
 
     # -- design-time artifacts ------------------------------------------
     def ideal_makespan_us(self, n_rus: Optional[int] = None) -> int:
@@ -295,6 +337,7 @@ class Session:
         n_rus: Optional[int] = None,
         reconfig_latency: Optional[int] = None,
         arrival_times: Optional[Sequence[int]] = None,
+        trace: Optional[TraceMode] = None,
     ) -> SimulationResult:
         """Execute one spec; returns the full :class:`SimulationResult`.
 
@@ -302,6 +345,9 @@ class Session:
         run only.  With ``arrival_times`` the zero-latency ideal is
         recomputed under the same arrivals (idle waiting must not be
         misread as reconfiguration overhead), bypassing the cache.
+        ``trace`` overrides the session's trace mode for this run;
+        observers registered through ``hooks`` may attach extra sinks via
+        :meth:`SessionHooks.trace_sinks`.
         """
         cell = SweepCell(
             spec=spec,
@@ -331,6 +377,8 @@ class Session:
             mobility_tables=mobility,
             arrival_times=arrival_times,
             ideal_makespan_us=ideal,
+            trace=self.trace_mode if trace is None else trace,
+            extra_sinks=self._hook_sinks(cell),
         )
         self._emit(
             "on_run_end", cell, PolicyRunRecord.from_result(spec.label, cell.n_rus, result)
@@ -349,13 +397,17 @@ class Session:
         ru_counts: Optional[Sequence[int]] = None,
         title: str = "sweep",
         parallel: int = 1,
+        trace: Optional[TraceMode] = None,
     ) -> SweepResult:
         """Run every ``(spec, n_rus)`` cell; returns a :class:`SweepResult`.
 
         Design-time artifacts are computed once per ``n_rus`` in the parent
         process and shared by all cells (and shipped to workers when
         ``parallel > 1``).  Results are deterministic and identical for any
-        ``parallel`` value; only wall-clock changes.
+        ``parallel`` value; only wall-clock changes.  ``trace`` overrides
+        the session trace mode for every cell — sweeps only retain the
+        flat :class:`PolicyRunRecord` per cell, so ``"aggregate"`` yields
+        identical records while never materialising record lists.
         """
         if not specs:
             raise ExperimentError("sweep requires at least one PolicySpec")
@@ -366,7 +418,7 @@ class Session:
             for spec in specs
         ]
         sweep = SweepResult(title=title, ru_counts=ru_counts)
-        for record in self._run_cells(cells, parallel):
+        for record in self._run_cells(cells, parallel, trace):
             sweep.add(record)
         return sweep
 
@@ -376,6 +428,7 @@ class Session:
         ru_counts: Optional[Sequence[int]] = None,
         reconfig_latencies: Optional[Sequence[int]] = None,
         parallel: int = 1,
+        trace: Optional[TraceMode] = None,
     ) -> List[GridCellRecord]:
         """Cartesian product over specs x RU counts x latencies."""
         if not specs:
@@ -392,7 +445,7 @@ class Session:
             for n in ru_counts
             for spec in specs
         ]
-        records = self._run_cells(cells, parallel)
+        records = self._run_cells(cells, parallel, trace)
         return [
             GridCellRecord(
                 spec_label=cell.spec.label,
@@ -405,25 +458,33 @@ class Session:
 
     # -- execution ------------------------------------------------------
     def _run_cells(
-        self, cells: List[SweepCell], parallel: int
+        self, cells: List[SweepCell], parallel: int, trace: Optional[TraceMode] = None
     ) -> List[PolicyRunRecord]:
         if parallel < 1:
             raise ExperimentError(f"parallel must be >= 1, got {parallel}")
         total = len(cells)
+        trace_mode = self._batch_trace(trace, total)
         if parallel == 1 or total <= 1:
             records = []
             for done, cell in enumerate(cells, start=1):
                 self._emit("on_run_start", cell)
                 mobility, ideal = self._cell_artifacts(cell)
-                record = _run_cell_local(self._apps, cell, mobility, ideal)
+                record = _run_cell_local(
+                    self._apps,
+                    cell,
+                    mobility,
+                    ideal,
+                    trace=trace_mode,
+                    extra_sinks=self._hook_sinks(cell),
+                )
                 self._emit("on_run_end", cell, record)
                 self._emit("on_sweep_progress", done, total)
                 records.append(record)
             return records
-        return self._run_cells_parallel(cells, parallel)
+        return self._run_cells_parallel(cells, parallel, trace_mode)
 
     def _run_cells_parallel(
-        self, cells: List[SweepCell], parallel: int
+        self, cells: List[SweepCell], parallel: int, trace_mode: TraceMode = "full"
     ) -> List[PolicyRunRecord]:
         # Design-time phase stays in the parent so the cache is shared;
         # workers only replay the run-time phase of each cell.
@@ -444,6 +505,7 @@ class Session:
                     cell.reconfig_latency,
                     mobility,
                     ideal,
+                    trace_mode,
                 )
                 future_to_index[future] = i
             done_count = 0
@@ -467,6 +529,8 @@ def _run_cell_local(
     cell: SweepCell,
     mobility: Optional[MobilityTables],
     ideal_us: int,
+    trace: TraceMode = "full",
+    extra_sinks: Sequence[TraceSink] = (),
 ) -> PolicyRunRecord:
     result = run_simulation(
         apps,
@@ -476,6 +540,8 @@ def _run_cell_local(
         semantics=cell.spec.make_semantics(),
         mobility_tables=mobility,
         ideal_makespan_us=ideal_us,
+        trace=trace,
+        extra_sinks=extra_sinks,
     )
     return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)
 
@@ -493,4 +559,5 @@ def _arrival_aware_ideal(
         reconfig_latency=0,
         advisor=_FirstCandidateAdvisor(),
         arrival_times=arrival_times,
+        trace="aggregate",  # only the makespan is read
     ).run().makespan

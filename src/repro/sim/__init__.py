@@ -20,6 +20,31 @@ from repro.sim.trace import (
     SkipRecord,
     Trace,
 )
+from repro.sim.tracing import (
+    AggregateTrace,
+    AppActivated,
+    AppCompleted,
+    Eviction,
+    ExecEnd,
+    ExecStart,
+    FullTrace,
+    JsonlTraceWriter,
+    ReconfigEnd,
+    ReconfigStart,
+    Reuse,
+    RunEnd,
+    RunStart,
+    Skip,
+    TraceEvent,
+    TraceMode,
+    TraceSink,
+    TraceView,
+    read_trace_events,
+    replay_events,
+    resolve_trace_mode,
+    trace_from_jsonl,
+    trace_memory_bytes,
+)
 from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.simulator import (
     SimulationResult,
@@ -54,6 +79,29 @@ __all__ = [
     "ReuseRecord",
     "SkipRecord",
     "Trace",
+    "AggregateTrace",
+    "AppActivated",
+    "AppCompleted",
+    "Eviction",
+    "ExecEnd",
+    "ExecStart",
+    "FullTrace",
+    "JsonlTraceWriter",
+    "ReconfigEnd",
+    "ReconfigStart",
+    "Reuse",
+    "RunEnd",
+    "RunStart",
+    "Skip",
+    "TraceEvent",
+    "TraceMode",
+    "TraceSink",
+    "TraceView",
+    "read_trace_events",
+    "replay_events",
+    "resolve_trace_mode",
+    "trace_from_jsonl",
+    "trace_memory_bytes",
     "ExecutionManager",
     "MobilityTables",
     "SimulationResult",

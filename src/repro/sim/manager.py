@@ -42,13 +42,23 @@ from repro.sim.events import EventKind, EventQueue
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.ru import RU, RUState
 from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
-from repro.sim.trace import (
-    EvictionRecord,
-    ExecRecord,
-    ReconfigRecord,
-    ReuseRecord,
-    SkipRecord,
-    Trace,
+from repro.sim.tracing import (
+    AppActivated,
+    AppCompleted,
+    Eviction,
+    ExecEnd,
+    ExecStart,
+    ReconfigEnd,
+    ReconfigStart,
+    Reuse,
+    RunEnd,
+    RunStart,
+    Skip,
+    TraceEvent,
+    TraceMode,
+    TraceSink,
+    TraceView,
+    resolve_trace_mode,
 )
 
 #: Mobility tables: graph name -> node id -> mobility (max skippable events).
@@ -125,6 +135,15 @@ class ExecutionManager:
         that task instance.  This is the mechanism the *design-time*
         mobility calculation (paper Fig. 6) uses to tentatively delay one
         task and measure the schedule impact; it is not used at run time.
+    trace:
+        What to retain about the run (see :mod:`repro.sim.tracing`):
+        ``"full"`` (default) reconstructs the classic record-list
+        :class:`~repro.sim.trace.Trace`; ``"aggregate"`` keeps O(1)
+        counters only; a path streams every event to a JSONL file while
+        keeping aggregate counters in memory.
+    extra_sinks:
+        Additional :class:`~repro.sim.tracing.TraceSink` observers; they
+        receive every event after the primary sink.
     """
 
     def __init__(
@@ -137,6 +156,8 @@ class ExecutionManager:
         mobility_tables: Optional[MobilityTables] = None,
         arrival_times: Optional[Sequence[int]] = None,
         forced_delays: Optional[Mapping[Tuple[int, int], int]] = None,
+        trace: TraceMode = "full",
+        extra_sinks: Sequence[TraceSink] = (),
     ) -> None:
         if n_rus < 1:
             raise SimulationError(f"n_rus must be >= 1, got {n_rus}")
@@ -170,7 +191,7 @@ class ExecutionManager:
         self.rus: List[RU] = [RU(i) for i in range(n_rus)]
         self.queue = EventQueue()
         self.clock = 0
-        self.trace = Trace(n_rus=n_rus, reconfig_latency=reconfig_latency)
+        self._trace_primary, self._sinks = resolve_trace_mode(trace, extra_sinks)
 
         # Dispatch pointer over the concatenated reconfiguration sequences.
         self._dispatch_app = 0       # index into self.apps
@@ -190,10 +211,40 @@ class ExecutionManager:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self) -> Trace:
-        """Execute the whole sequence and return the trace."""
+    @property
+    def trace(self) -> TraceView:
+        """The primary sink's view of the run (a Trace in full mode)."""
+        return self._trace_primary.view()  # type: ignore[union-attr]
+
+    def _emit(self, event: TraceEvent) -> None:
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    def run(self) -> TraceView:
+        """Execute the whole sequence and return the trace view.
+
+        In the default ``trace="full"`` mode this is the classic
+        :class:`~repro.sim.trace.Trace`; in ``"aggregate"`` (or path)
+        mode it is the O(1) :class:`~repro.sim.tracing.AggregateTrace`.
+        """
+        try:
+            return self._run()
+        finally:
+            for sink in self._sinks:
+                sink.close()
+
+    def _run(self) -> TraceView:
+        self._emit(
+            RunStart(
+                time=0,
+                n_rus=self.n_rus,
+                reconfig_latency=self.reconfig_latency,
+                n_apps=len(self.apps),
+            )
+        )
         self.advisor.reset()
         self.advisor.on_app_activated(0, 0)
+        self._emit(AppActivated(time=0, app_index=0))
         self.skipped_events[0] = 0
         for app in self.apps:
             if app.arrival_time > 0:
@@ -226,6 +277,7 @@ class ExecutionManager:
                 f"simulation ended with unfinished applications {unfinished}; "
                 "this indicates a dispatch deadlock"
             )
+        self._emit(RunEnd(time=self.clock))
         return self.trace
 
     # ------------------------------------------------------------------
@@ -236,6 +288,14 @@ class ExecutionManager:
         finished = ru.finish_execution(self.clock)
         if finished is not instance:  # pragma: no cover - defensive
             raise SimulationError("execution bookkeeping mismatch")
+        self._emit(
+            ExecEnd(
+                time=self.clock,
+                ru=ru_index,
+                config=instance.config,
+                app_index=instance.app_index,
+            )
+        )
         self.advisor.on_execution_end(ru_index, instance.config, self.clock)
 
         app = self.apps[instance.app_index]
@@ -245,7 +305,7 @@ class ExecutionManager:
             app.remaining_preds[succ] -= 1
 
         if app.complete():
-            self.trace.app_completion_times[app.index] = self.clock
+            self._emit(AppCompleted(time=self.clock, app_index=app.index))
             self._activate_next_app()
         self._dispatch_and_start()
 
@@ -253,6 +313,14 @@ class ExecutionManager:
         ru = self.rus[ru_index]
         ru.finish_load(self.clock)
         self._reconfiguring = False
+        self._emit(
+            ReconfigEnd(
+                time=self.clock,
+                ru=ru_index,
+                config=instance.config,
+                app_index=instance.app_index,
+            )
+        )
         self.advisor.on_load_complete(ru_index, instance.config, self.clock)
         self._dispatch_and_start()
 
@@ -266,6 +334,7 @@ class ExecutionManager:
         if self._current_app < len(self.apps):
             self.skipped_events.setdefault(self._current_app, 0)
             self.advisor.on_app_activated(self._current_app, self.clock)
+            self._emit(AppActivated(time=self.clock, app_index=self._current_app))
 
     # ------------------------------------------------------------------
     # Dispatch (the replacement-module invocation loop)
@@ -316,12 +385,12 @@ class ExecutionManager:
                     return
                 ru.claim_reuse(instance)
                 self._advance_head()
-                self.trace.reuses.append(
-                    ReuseRecord(
+                self._emit(
+                    Reuse(
+                        time=self.clock,
                         ru=ru.index,
                         config=instance.config,
                         app_index=app.index,
-                        time=self.clock,
                     )
                 )
                 self.advisor.on_reuse(ru.index, instance.config, self.clock)
@@ -346,24 +415,24 @@ class ExecutionManager:
             if decision.skip:
                 self.skipped_events[instance.app_index] = ctx.skipped_events + 1
                 victim_cfg = self._skip_victim_config(ctx)
-                self.trace.skips.append(
-                    SkipRecord(
+                self._emit(
+                    Skip(
+                        time=self.clock,
                         app_index=instance.app_index,
                         config=instance.config,
                         victim_config=victim_cfg,
-                        time=self.clock,
                         skipped_events_after=ctx.skipped_events + 1,
                     )
                 )
                 return
             victim = self._validate_victim(decision, candidates)
-            self.trace.evictions.append(
-                EvictionRecord(
+            self._emit(
+                Eviction(
+                    time=self.clock,
                     ru=victim.index,
                     old_config=victim.config,  # type: ignore[arg-type]
                     new_config=instance.config,
                     app_index=instance.app_index,
-                    time=self.clock,
                 )
             )
             self._begin_load(self.rus[victim.index], instance)
@@ -397,12 +466,12 @@ class ExecutionManager:
         self._reconfiguring = True
         end = self.clock + self.reconfig_latency
         self._reconfig_busy_until = end
-        self.trace.reconfigs.append(
-            ReconfigRecord(
+        self._emit(
+            ReconfigStart(
+                time=self.clock,
                 ru=ru.index,
                 config=instance.config,
                 app_index=instance.app_index,
-                start=self.clock,
                 end=end,
             )
         )
@@ -426,12 +495,12 @@ class ExecutionManager:
                 reused = ru.pending_reused
                 instance = ru.start_execution(self.clock)
                 end = self.clock + instance.exec_time
-                self.trace.executions.append(
-                    ExecRecord(
+                self._emit(
+                    ExecStart(
+                        time=self.clock,
                         ru=ru.index,
                         config=instance.config,
                         app_index=instance.app_index,
-                        start=self.clock,
                         end=end,
                         reused=reused,
                     )

@@ -19,7 +19,7 @@ from repro.graphs.task_graph import TaskGraph
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.semantics import ManagerSemantics
-from repro.sim.trace import Trace
+from repro.sim.tracing import TraceMode, TraceSink, TraceView
 
 
 class _FirstCandidateAdvisor(ReplacementAdvisor):
@@ -40,9 +40,16 @@ class SimulationResult:
     ``overhead_us`` is the paper's reconfiguration overhead: the makespan
     increase relative to an ideal execution with zero reconfiguration
     latency on the same device (S4 barrier semantics included).
+
+    ``trace`` is whatever view the run's trace mode retained: the classic
+    record-list :class:`~repro.sim.trace.Trace` under ``trace="full"``
+    (the default), or the O(1)
+    :class:`~repro.sim.tracing.AggregateTrace` under ``"aggregate"`` /
+    JSONL-path modes.  Both views expose the counters, ``reuse_rate()``
+    and ``summary()`` used here and by the metrics layer.
     """
 
-    trace: Trace
+    trace: TraceView
     makespan_us: int
     ideal_makespan_us: int
     n_apps: int
@@ -95,6 +102,8 @@ def run_simulation(
     mobility_tables: Optional[MobilityTables] = None,
     arrival_times: Optional[Sequence[int]] = None,
     ideal_makespan_us: Optional[int] = None,
+    trace: TraceMode = "full",
+    extra_sinks: Sequence[TraceSink] = (),
 ) -> SimulationResult:
     """Run the sequence and compute headline metrics (engine entry point).
 
@@ -102,6 +111,11 @@ def run_simulation(
     zero-latency baseline when sweeping policies over a fixed workload —
     :class:`repro.session.Session` does this automatically through its
     artifact cache.
+
+    ``trace`` selects what the run retains — ``"full"`` record lists
+    (default), ``"aggregate"`` O(1) counters, or a JSONL output path —
+    and ``extra_sinks`` attaches additional event observers; see
+    :mod:`repro.sim.tracing`.
     """
     manager = ExecutionManager(
         graphs=graphs,
@@ -111,13 +125,15 @@ def run_simulation(
         semantics=semantics,
         mobility_tables=mobility_tables,
         arrival_times=arrival_times,
+        trace=trace,
+        extra_sinks=extra_sinks,
     )
-    trace = manager.run()
+    trace_view = manager.run()
     if ideal_makespan_us is None:
         ideal_makespan_us = ideal_makespan(graphs, n_rus)
     return SimulationResult(
-        trace=trace,
-        makespan_us=trace.makespan,
+        trace=trace_view,
+        makespan_us=trace_view.makespan,
         ideal_makespan_us=ideal_makespan_us,
         n_apps=len(graphs),
     )
@@ -168,12 +184,15 @@ def ideal_makespan(graphs: Sequence[TaskGraph], n_rus: int) -> int:
     same barrier and resource semantics as the measured run.  For devices
     with at least as many RUs as the widest application this equals the
     sum of the applications' critical paths (asserted by the test suite).
+    The run streams through the aggregate sink — only the makespan is
+    needed, so no record lists are materialised.
     """
     manager = ExecutionManager(
         graphs=graphs,
         n_rus=n_rus,
         reconfig_latency=0,
         advisor=_FirstCandidateAdvisor(),
+        trace="aggregate",
     )
     return manager.run().makespan
 

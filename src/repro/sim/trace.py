@@ -83,7 +83,16 @@ class ExecRecord:
 
 @dataclass
 class Trace:
-    """Complete record of one simulation run."""
+    """Complete record of one simulation run.
+
+    Since the streaming refactor the record lists are *reconstructed* by
+    the :class:`~repro.sim.tracing.FullTrace` sink from the manager's
+    event stream rather than appended by the manager itself; contents and
+    order are unchanged.  The lists are append-only during a run —
+    ``makespan`` and :meth:`busy_time_per_ru` exploit that by caching
+    their scan keyed on ``len(executions)``, so repeated property access
+    (every metrics/report path) costs O(1) after the first read.
+    """
 
     n_rus: int
     reconfig_latency: int
@@ -93,6 +102,13 @@ class Trace:
     skips: List[SkipRecord] = field(default_factory=list)
     executions: List[ExecRecord] = field(default_factory=list)
     app_completion_times: Dict[int, int] = field(default_factory=dict)
+    #: (len(executions) when computed, value) — invalidated by appends.
+    _makespan_cache: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _busy_cache: Optional[Tuple[int, Dict[int, int]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -100,8 +116,11 @@ class Trace:
     @property
     def makespan(self) -> int:
         """Completion time of the last application (0 for empty runs)."""
-        ends = [e.end for e in self.executions]
-        return max(ends) if ends else 0
+        key = len(self.executions)
+        if self._makespan_cache is None or self._makespan_cache[0] != key:
+            value = max((e.end for e in self.executions), default=0)
+            self._makespan_cache = (key, value)
+        return self._makespan_cache[1]
 
     @property
     def n_executions(self) -> int:
@@ -140,10 +159,13 @@ class Trace:
 
     def busy_time_per_ru(self) -> Dict[int, int]:
         """Total execution time per RU (µs), for utilisation reporting."""
-        busy = {i: 0 for i in range(self.n_rus)}
-        for e in self.executions:
-            busy[e.ru] += e.duration
-        return busy
+        key = len(self.executions)
+        if self._busy_cache is None or self._busy_cache[0] != key:
+            busy = {i: 0 for i in range(self.n_rus)}
+            for e in self.executions:
+                busy[e.ru] += e.duration
+            self._busy_cache = (key, busy)
+        return dict(self._busy_cache[1])
 
     def total_reconfiguration_time(self) -> int:
         """Sum of all reconfiguration latencies spent (µs)."""

@@ -1,0 +1,560 @@
+"""Streaming trace subsystem: typed events and pluggable sinks.
+
+The :class:`~repro.sim.manager.ExecutionManager` no longer appends to
+grow-only record lists while it runs.  Instead it *emits* one immutable
+:class:`TraceEvent` per scheduler decision — reconfiguration start/end,
+reuse, eviction, skip, execution start/end, application activation and
+completion — to any number of :class:`TraceSink` observers.  What gets
+retained is the sink's choice:
+
+* :class:`FullTrace` reconstructs the classic :class:`~repro.sim.trace.Trace`
+  record lists exactly (same records, same order) — the default, and the
+  mode every golden-value test runs under;
+* :class:`AggregateTrace` keeps only counters, the makespan and per-RU
+  busy time — O(1) memory regardless of workload length, which is what
+  makes million-application streaming runs feasible;
+* :class:`JsonlTraceWriter` appends one JSON object per event to a file
+  for offline analysis; :func:`read_trace_events` parses the file back
+  into event objects and :func:`replay_events` feeds them through sinks
+  again (a JSONL file is a lossless trace: replaying it through a
+  :class:`FullTrace` rebuilds the exact :class:`Trace`).
+
+Ordering guarantees (see ``docs/events.md`` for the full contract):
+events are emitted in non-decreasing simulation time, and at equal
+timestamps in the manager's dispatch order — which is exactly the order
+the seed implementation appended its records, so ``FullTrace`` is a
+faithful reconstruction, not an approximation.
+
+Dispatch is *not* best-effort: a raising sink aborts the run.  Traces are
+evidence; silently dropping part of one would corrupt every metric
+derived from it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import (
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import SimulationError
+from repro.graphs.task import ConfigId
+from repro.sim.trace import (
+    EvictionRecord,
+    ExecRecord,
+    ReconfigRecord,
+    ReuseRecord,
+    SkipRecord,
+    Trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Event types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base of all trace events.  ``time`` is simulation time in µs."""
+
+    time: int
+
+
+@dataclass(frozen=True)
+class RunStart(TraceEvent):
+    """The simulation is about to execute (always the first event)."""
+
+    n_rus: int
+    reconfig_latency: int
+    n_apps: int
+
+
+@dataclass(frozen=True)
+class RunEnd(TraceEvent):
+    """The simulation drained its event queue (always the last event)."""
+
+
+@dataclass(frozen=True)
+class AppActivated(TraceEvent):
+    """``app_index`` became the current application."""
+
+    app_index: int
+
+
+@dataclass(frozen=True)
+class AppCompleted(TraceEvent):
+    """Every task of ``app_index`` finished executing."""
+
+    app_index: int
+
+
+@dataclass(frozen=True)
+class ReconfigStart(TraceEvent):
+    """A bitstream load began on the shared reconfiguration circuitry.
+
+    ``end`` is the scheduled completion time (``time`` + latency); the
+    single-circuitry model (S5) makes it exact at emission time.
+    """
+
+    ru: int
+    config: ConfigId
+    app_index: int
+    end: int
+
+
+@dataclass(frozen=True)
+class ReconfigEnd(TraceEvent):
+    """The reconfiguration circuitry finished loading ``config``."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+
+
+@dataclass(frozen=True)
+class Reuse(TraceEvent):
+    """``config`` was claimed without a reconfiguration (a task reuse)."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+
+
+@dataclass(frozen=True)
+class Eviction(TraceEvent):
+    """``old_config`` was chosen as the victim for loading ``new_config``."""
+
+    ru: int
+    old_config: ConfigId
+    new_config: ConfigId
+    app_index: int
+
+
+@dataclass(frozen=True)
+class Skip(TraceEvent):
+    """The replacement module skipped an event (delayed ``config``'s load)."""
+
+    app_index: int
+    config: ConfigId
+    victim_config: ConfigId
+    skipped_events_after: int
+
+
+@dataclass(frozen=True)
+class ExecStart(TraceEvent):
+    """A task execution began on ``ru``; ``end`` is its scheduled finish."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+    end: int
+    reused: bool
+
+
+@dataclass(frozen=True)
+class ExecEnd(TraceEvent):
+    """The task running on ``ru`` finished."""
+
+    ru: int
+    config: ConfigId
+    app_index: int
+
+
+#: All event classes, in documentation order (also the JSONL type names).
+EVENT_TYPES: Tuple[type, ...] = (
+    RunStart,
+    AppActivated,
+    ReconfigStart,
+    ReconfigEnd,
+    Reuse,
+    Eviction,
+    Skip,
+    ExecStart,
+    ExecEnd,
+    AppCompleted,
+    RunEnd,
+)
+
+_EVENT_BY_NAME: Dict[str, type] = {cls.__name__: cls for cls in EVENT_TYPES}
+
+#: Event fields holding a :class:`ConfigId` (JSON-encoded as a 2-list).
+_CONFIG_FIELDS = frozenset({"config", "old_config", "new_config", "victim_config"})
+
+
+# ----------------------------------------------------------------------
+# Sink protocol
+# ----------------------------------------------------------------------
+class TraceSink:
+    """Observer of the manager's event stream.
+
+    Subclasses override :meth:`on_event`; :meth:`close` is called exactly
+    once when the run finishes (or aborts), so file-backed sinks can
+    flush.  A sink instance observes a single run — the :class:`RunStart`
+    /:class:`RunEnd` pair brackets its lifetime.
+    """
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Receive one event.  Raising aborts the simulation."""
+
+    def close(self) -> None:
+        """Release resources; called once after the run (even on error)."""
+
+
+class FullTrace(TraceSink):
+    """Reconstructs the classic list-based :class:`Trace` from the stream.
+
+    Record contents and list order are identical to what the seed
+    implementation produced by appending during the run, because the
+    emission points are the former append points: reconfigurations and
+    executions are recorded at their *start* events (with the scheduled
+    ``end``), exactly as before.
+    """
+
+    def __init__(self) -> None:
+        self._trace: Optional[Trace] = None
+
+    @property
+    def trace(self) -> Trace:
+        if self._trace is None:
+            raise SimulationError("FullTrace has not observed a RunStart yet")
+        return self._trace
+
+    def view(self) -> Trace:
+        """The reconstructed :class:`Trace` (the run's primary result)."""
+        return self.trace
+
+    def on_event(self, event: TraceEvent) -> None:
+        cls = type(event)
+        if cls is ExecStart:
+            self.trace.executions.append(
+                ExecRecord(
+                    ru=event.ru,
+                    config=event.config,
+                    app_index=event.app_index,
+                    start=event.time,
+                    end=event.end,
+                    reused=event.reused,
+                )
+            )
+        elif cls is ReconfigStart:
+            self.trace.reconfigs.append(
+                ReconfigRecord(
+                    ru=event.ru,
+                    config=event.config,
+                    app_index=event.app_index,
+                    start=event.time,
+                    end=event.end,
+                )
+            )
+        elif cls is Reuse:
+            self.trace.reuses.append(
+                ReuseRecord(
+                    ru=event.ru,
+                    config=event.config,
+                    app_index=event.app_index,
+                    time=event.time,
+                )
+            )
+        elif cls is Eviction:
+            self.trace.evictions.append(
+                EvictionRecord(
+                    ru=event.ru,
+                    old_config=event.old_config,
+                    new_config=event.new_config,
+                    app_index=event.app_index,
+                    time=event.time,
+                )
+            )
+        elif cls is Skip:
+            self.trace.skips.append(
+                SkipRecord(
+                    app_index=event.app_index,
+                    config=event.config,
+                    victim_config=event.victim_config,
+                    time=event.time,
+                    skipped_events_after=event.skipped_events_after,
+                )
+            )
+        elif cls is AppCompleted:
+            self.trace.app_completion_times[event.app_index] = event.time
+        elif cls is RunStart:
+            self._trace = Trace(
+                n_rus=event.n_rus, reconfig_latency=event.reconfig_latency
+            )
+        # ReconfigEnd / ExecEnd / AppActivated / RunEnd carry no state the
+        # record lists need: starts already embed their scheduled ends.
+
+
+class AggregateTrace(TraceSink):
+    """Memory-bounded sink: counters + makespan + per-RU busy time.
+
+    Exposes the same read API the metrics layer uses on :class:`Trace`
+    (``makespan``, ``reuse_rate()``, ``summary()``, ...) while retaining
+    O(1) state — a handful of integers plus one counter per RU — so a
+    run over millions of applications costs the same trace memory as one
+    over ten.  ``summary()`` returns a dict byte-identical (via JSON) to
+    ``Trace.summary()`` for the same run.
+    """
+
+    def __init__(self) -> None:
+        self.n_rus = 0
+        self.reconfig_latency = 0
+        self.n_apps = 0
+        self.n_executions = 0
+        self.n_reused_executions = 0
+        self.n_reconfigurations = 0
+        self.n_evictions = 0
+        self.n_skips = 0
+        self.n_reuses = 0
+        self.n_apps_completed = 0
+        self.last_completion_time = 0
+        self._makespan = 0
+        self._total_reconfig_time = 0
+        self._busy: Dict[int, int] = {}
+
+    def view(self) -> "AggregateTrace":
+        return self
+
+    def on_event(self, event: TraceEvent) -> None:
+        cls = type(event)
+        if cls is ExecStart:
+            self.n_executions += 1
+            if event.reused:
+                self.n_reused_executions += 1
+            try:
+                self._busy[event.ru] += event.end - event.time
+            except KeyError:
+                raise SimulationError(
+                    "AggregateTrace has not observed a RunStart yet"
+                ) from None
+            if event.end > self._makespan:
+                self._makespan = event.end
+        elif cls is ReconfigStart:
+            self.n_reconfigurations += 1
+            self._total_reconfig_time += event.end - event.time
+        elif cls is Reuse:
+            self.n_reuses += 1
+        elif cls is Eviction:
+            self.n_evictions += 1
+        elif cls is Skip:
+            self.n_skips += 1
+        elif cls is AppCompleted:
+            self.n_apps_completed += 1
+            self.last_completion_time = event.time
+        elif cls is RunStart:
+            self.n_rus = event.n_rus
+            self.reconfig_latency = event.reconfig_latency
+            self.n_apps = event.n_apps
+            self._busy = {i: 0 for i in range(event.n_rus)}
+
+    # -- Trace-compatible read API --------------------------------------
+    @property
+    def makespan(self) -> int:
+        return self._makespan
+
+    def reuse_rate(self) -> float:
+        if not self.n_executions:
+            return 0.0
+        return self.n_reused_executions / self.n_executions
+
+    def busy_time_per_ru(self) -> Dict[int, int]:
+        return dict(self._busy)
+
+    def total_reconfiguration_time(self) -> int:
+        return self._total_reconfig_time
+
+    def summary(self) -> Dict[str, object]:
+        """Same keys, order and values as :meth:`Trace.summary`."""
+        return {
+            "n_rus": self.n_rus,
+            "reconfig_latency_us": self.reconfig_latency,
+            "makespan_us": self.makespan,
+            "executions": self.n_executions,
+            "reused": self.n_reused_executions,
+            "reuse_rate": round(self.reuse_rate(), 4),
+            "reconfigurations": self.n_reconfigurations,
+            "evictions": self.n_evictions,
+            "skips": self.n_skips,
+        }
+
+
+class JsonlTraceWriter(TraceSink):
+    """Streams every event as one JSON object per line to ``path``.
+
+    The file is self-describing: each line carries the event type name
+    plus its fields, with :class:`ConfigId` values encoded as
+    ``[graph_name, node_id]`` pairs.  :func:`read_trace_events` inverts
+    the encoding losslessly.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.n_events = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise SimulationError(f"JsonlTraceWriter({self.path}) is closed")
+        self._fh.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        self._fh.write("\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# JSONL (de)serialization and replay
+# ----------------------------------------------------------------------
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """JSON-ready dict: ``{"event": <type>, <field>: <value>, ...}``."""
+    out: Dict[str, object] = {"event": type(event).__name__}
+    for key, value in asdict(event).items():
+        out[key] = list(value) if key in _CONFIG_FIELDS else value
+    return out
+
+
+def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
+    """Inverse of :func:`event_to_dict` (raises on unknown event types)."""
+    data = dict(payload)
+    name = data.pop("event", None)
+    cls = _EVENT_BY_NAME.get(name)  # type: ignore[arg-type]
+    if cls is None:
+        raise SimulationError(f"unknown trace event type {name!r}")
+    kwargs = {
+        key: ConfigId(*value) if key in _CONFIG_FIELDS else value
+        for key, value in data.items()
+    }
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise SimulationError(f"malformed {name} event: {exc}") from None
+
+
+def read_trace_events(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Parse a :class:`JsonlTraceWriter` file back into event objects."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimulationError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            yield event_from_dict(payload)
+
+
+def replay_events(
+    events: Iterable[TraceEvent], *sinks: TraceSink
+) -> Tuple[TraceSink, ...]:
+    """Feed ``events`` through ``sinks`` (closing them), return the sinks."""
+    try:
+        for event in events:
+            for sink in sinks:
+                sink.on_event(event)
+    finally:
+        for sink in sinks:
+            sink.close()
+    return sinks
+
+
+def trace_from_jsonl(path: Union[str, Path]) -> Trace:
+    """Rebuild the full :class:`Trace` from a JSONL event file."""
+    (sink,) = replay_events(read_trace_events(path), FullTrace())
+    return sink.view()  # type: ignore[union-attr]
+
+
+# ----------------------------------------------------------------------
+# Trace-mode resolution (the ``trace=`` parameter everywhere)
+# ----------------------------------------------------------------------
+#: What callers may pass as a trace mode: ``"full"``, ``"aggregate"``, or
+#: a ``.jsonl`` output path (streamed events + aggregate counters).
+TraceMode = Union[str, Path]
+
+#: What a resolved run returns as its trace: the classic record lists or
+#: the O(1) aggregate view.  Both expose ``makespan``, ``reuse_rate()``,
+#: ``summary()``, ``busy_time_per_ru()`` and the headline counters.
+TraceView = Union[Trace, AggregateTrace]
+
+
+def resolve_trace_mode(
+    trace: TraceMode = "full", extra_sinks: Sequence[TraceSink] = ()
+) -> Tuple[TraceSink, Tuple[TraceSink, ...]]:
+    """Turn a trace mode into ``(primary sink, all sinks)``.
+
+    ``"full"`` → a :class:`FullTrace`; ``"aggregate"`` → an
+    :class:`AggregateTrace`; a path → a :class:`JsonlTraceWriter` to that
+    path *plus* an :class:`AggregateTrace` primary (the events live on
+    disk, so only O(1) memory is retained — replay the file for more).
+    ``extra_sinks`` are appended after the primary in emission order.
+
+    A string counts as a path only when it *looks* like one (a ``.jsonl``
+    suffix or a directory separator) — so a typo like ``trace="ful"``
+    raises instead of silently creating a file named ``ful``.
+    """
+    primary: TraceSink
+    if trace == "full":
+        primary = FullTrace()
+        sinks: Tuple[TraceSink, ...] = (primary,)
+    elif trace == "aggregate":
+        primary = AggregateTrace()
+        sinks = (primary,)
+    elif isinstance(trace, Path) or (
+        isinstance(trace, str)
+        and (trace.endswith(".jsonl") or "/" in trace or "\\" in trace)
+    ):
+        primary = AggregateTrace()
+        sinks = (primary, JsonlTraceWriter(trace))
+    else:
+        raise SimulationError(
+            f"invalid trace mode {trace!r}: expected 'full', 'aggregate' "
+            "or a JSONL output path (*.jsonl)"
+        )
+    return primary, sinks + tuple(extra_sinks)
+
+
+# ----------------------------------------------------------------------
+# Introspection helpers (benchmarks, tests)
+# ----------------------------------------------------------------------
+def trace_memory_bytes(view: TraceView) -> int:
+    """Approximate retained memory of a trace view, in bytes.
+
+    Deterministic and comparable across runs: record lists are charged
+    per element, the aggregate view per counter.  Used by the streaming
+    benchmark to demonstrate O(1) aggregate memory.
+    """
+    if isinstance(view, AggregateTrace):
+        total = sys.getsizeof(view) + sys.getsizeof(view._busy)
+        total += sum(sys.getsizeof(v) for v in view._busy.values())
+        return total
+    total = sys.getsizeof(view)
+    for records in (
+        view.reconfigs,
+        view.reuses,
+        view.evictions,
+        view.skips,
+        view.executions,
+    ):
+        total += sys.getsizeof(records)
+        total += sum(sys.getsizeof(r) for r in records)
+    total += sys.getsizeof(view.app_completion_times)
+    return total
+
+
+def event_field_names(cls: type) -> Tuple[str, ...]:
+    """Field names of an event class (used by docs tests)."""
+    return tuple(f.name for f in fields(cls))

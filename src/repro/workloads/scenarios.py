@@ -14,6 +14,7 @@ decorated factory function::
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -155,6 +156,28 @@ def bursty_workload(
         name=f"bursty-{burst_len}-{length}",
         seed=seed if isinstance(seed, int) else None,
     )
+
+
+@scenario("huge-stream", description="10x+ paper-eval length for streaming-trace runs")
+def huge_stream_workload(
+    n_rus: int = 4,
+    length: int = 10 * PAPER_SEQUENCE_LENGTH,
+    seed: SeedLike = PAPER_SEED,
+    reconfig_latency: int = DEFAULT_RECONFIG_LATENCY_US,
+) -> Workload:
+    """Order-of-magnitude-longer paper workload for streaming-trace runs.
+
+    Same catalog and sampling as ``paper-eval`` but defaulting to 5000
+    applications (10x the paper's §VI sequence).  The workload itself is
+    cheap — graphs repeat by reference — so the scale pressure lands
+    entirely on the trace: run it with ``trace="aggregate"`` (or the CLI's
+    ``--trace-mode aggregate``) to keep memory flat, or a ``--trace-out``
+    JSONL path to stream the full event log to disk.
+    """
+    workload = paper_evaluation_workload(
+        n_rus=n_rus, length=length, seed=seed, reconfig_latency=reconfig_latency
+    )
+    return dataclasses.replace(workload, name=f"huge-stream-{length}")
 
 
 @scenario("round-robin", description="cyclic worst case for short windows")
