@@ -75,6 +75,7 @@ from repro.sim import (
     simulate,
     validate_trace,
 )
+from repro.artifacts import ArtifactStore, default_store_root
 from repro.session import (
     ArtifactCache,
     GridCellRecord,
@@ -165,6 +166,8 @@ __all__ = [
     "validate_trace",
     # session (the declarative engine)
     "ArtifactCache",
+    "ArtifactStore",
+    "default_store_root",
     "GridCellRecord",
     "Session",
     "SessionHooks",

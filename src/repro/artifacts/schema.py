@@ -1,0 +1,106 @@
+"""Versioned JSON envelope for on-disk artifact entries.
+
+Every entry is one JSON object::
+
+    {
+      "schema": 1,
+      "kind": "mobility" | "ideal",
+      "key": "<sha256 the entry is stored under>",
+      "meta": {...},         # human-readable provenance, never read back
+      "payload": {...}       # the artifact itself
+    }
+
+Decoding is strict: a wrong schema version, a kind mismatch or a
+malformed payload raises :class:`ArtifactDecodeError`, which the store
+treats as a cache miss (and evicts the entry) rather than an error — a
+corrupted or stale file must never poison an experiment.
+
+Mobility tables need real (de)serialization because JSON object keys are
+strings while the in-memory tables are ``graph name -> node id (int) ->
+mobility (int)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import ReproError
+
+#: Bump to invalidate every existing on-disk entry (layout dir also moves).
+SCHEMA_VERSION = 1
+
+
+class ArtifactDecodeError(ReproError):
+    """An on-disk entry could not be decoded (corrupt, stale, foreign)."""
+
+
+def _envelope(kind: str, key: str, payload: Any, meta: Optional[Mapping] = None) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "key": key,
+        "meta": dict(meta or {}),
+        "payload": payload,
+    }
+
+
+def _open_envelope(kind: str, key: str, entry: Any) -> Any:
+    if not isinstance(entry, dict):
+        raise ArtifactDecodeError(f"artifact entry is not an object: {type(entry)}")
+    if entry.get("schema") != SCHEMA_VERSION:
+        raise ArtifactDecodeError(
+            f"unsupported artifact schema {entry.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if entry.get("kind") != kind:
+        raise ArtifactDecodeError(
+            f"artifact kind mismatch: stored {entry.get('kind')!r}, wanted {kind!r}"
+        )
+    if entry.get("key") != key:
+        raise ArtifactDecodeError(
+            f"artifact key mismatch: stored under {key}, claims {entry.get('key')!r}"
+        )
+    if "payload" not in entry:
+        raise ArtifactDecodeError("artifact entry has no payload")
+    return entry["payload"]
+
+
+# ----------------------------------------------------------------------
+# Mobility tables: graph name -> node id (int) -> mobility (int)
+# ----------------------------------------------------------------------
+def encode_mobility_tables(
+    key: str, tables: Mapping[str, Mapping[int, int]], meta: Optional[Mapping] = None
+) -> Dict:
+    payload = {
+        name: {str(node): int(mob) for node, mob in table.items()}
+        for name, table in tables.items()
+    }
+    return _envelope("mobility", key, payload, meta)
+
+
+def decode_mobility_tables(key: str, entry: Any) -> Dict[str, Dict[int, int]]:
+    payload = _open_envelope("mobility", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("mobility payload is not an object")
+    try:
+        return {
+            str(name): {int(node): int(mob) for node, mob in table.items()}
+            for name, table in payload.items()
+        }
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed mobility payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Zero-latency ideal makespans: one integer
+# ----------------------------------------------------------------------
+def encode_ideal(key: str, makespan_us: int, meta: Optional[Mapping] = None) -> Dict:
+    return _envelope("ideal", key, {"makespan_us": int(makespan_us)}, meta)
+
+
+def decode_ideal(key: str, entry: Any) -> int:
+    payload = _open_envelope("ideal", key, entry)
+    try:
+        return int(payload["makespan_us"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed ideal payload: {exc}") from exc

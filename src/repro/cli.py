@@ -18,6 +18,19 @@ Every artifact command prints the same rows/series the paper reports, with
 the paper's values alongside for comparison.  ``--trace-mode aggregate``
 streams runs through the O(1) aggregate sink (same numbers, flat memory);
 ``--trace-out`` writes the full event log as JSONL for offline analysis.
+
+Design-time artifacts (mobility tables, zero-latency ideals) can persist
+across invocations through the on-disk store::
+
+    repro cache warm --scenario paper-eval --rus 4 5 6     # pay once
+    repro sweep --panel fig9b --store ~/.cache/repro/artifacts
+    repro cache stats
+    repro cache clear
+
+``--store DIR`` attaches the store to the ``run``, ``sweep``,
+``fig9a``/``fig9b``/``fig9c`` and ``ablation`` commands; the ``cache``
+subcommands default to ``$REPRO_CACHE_DIR`` (else
+``~/.cache/repro/artifacts``).
 """
 
 from __future__ import annotations
@@ -56,8 +69,16 @@ COMMANDS = (
     "run",
     "sweep",
     "scenarios",
+    "cache",
     "all",
 )
+
+#: Subcommands of ``repro cache``.
+CACHE_ACTIONS = ("stats", "clear", "warm")
+
+#: Commands that honour ``--store`` (others reject it rather than
+#: silently running without the disk tier).
+STORE_COMMANDS = ("run", "sweep", "cache", "ablation", "fig9a", "fig9b", "fig9c")
 
 #: Named spec sets the ``sweep`` command can run.
 SWEEP_PANELS = {
@@ -80,6 +101,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("command", choices=COMMANDS, help="artifact to regenerate")
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="action for the 'cache' command: stats | clear | warm",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent design-time artifact store directory; attaches a "
+            "disk tier to the session cache so mobility tables and ideal "
+            "makespans survive the process (default for 'cache': "
+            "$REPRO_CACHE_DIR or ~/.cache/repro/artifacts)"
+        ),
+    )
     parser.add_argument(
         "--length",
         type=int,
@@ -183,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _store_from_args(args: argparse.Namespace, default: bool = False):
+    """Resolve ``--store`` into an :class:`ArtifactStore` (or ``None``).
+
+    With ``default=True`` (the ``cache`` command) a missing ``--store``
+    falls back to the default root instead of disabling the store.
+    """
+    from repro.artifacts import ArtifactStore, default_store_root
+
+    if args.store is not None:
+        return ArtifactStore(args.store)
+    if default:
+        return ArtifactStore(default_store_root())
+    return None
+
+
 def _workload(args: argparse.Namespace):
     kwargs = {"length": args.length}
     if args.seed is not None:
@@ -228,7 +281,9 @@ def _run_single(args: argparse.Namespace) -> int:
             )
             return 2
         n_rus = args.rus[0]
-    session = Session(workload=_workload(args), trace=trace_mode)
+    session = Session(
+        workload=_workload(args), trace=trace_mode, store=_store_from_args(args)
+    )
     result = session.run(spec, n_rus=n_rus)
     device_n_rus = n_rus or session.device.n_rus
     print(
@@ -246,7 +301,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
     """The ``sweep`` subcommand: one Session.sweep over a spec panel."""
     specs_factory, metric, header = SWEEP_PANELS[args.panel]
     session = Session(
-        workload=_workload(args), hooks=(_ProgressHook(),), trace=args.trace_mode
+        workload=_workload(args),
+        hooks=(_ProgressHook(),),
+        trace=args.trace_mode,
+        store=_store_from_args(args),
     )
     sweep = session.sweep(
         specs_factory(),
@@ -255,10 +313,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         parallel=args.jobs,
     )
     print(sweep.render_table(metric, header))
+    mob, ideal = session.cache.mobility_stats, session.cache.ideal_stats
     print(
-        f"(design-time cache: {session.cache.mobility_stats.computations} mobility "
-        f"computations, {session.cache.ideal_stats.computations} ideal makespans; "
-        f"jobs={args.jobs})"
+        f"(design-time cache: {mob.computations} mobility computations, "
+        f"{ideal.computations} ideal makespans; "
+        f"disk tier hits: {mob.disk_hits + ideal.disk_hits}; jobs={args.jobs})"
     )
     if args.export_csv:
         from repro.experiments.export import save_text, sweep_to_csv
@@ -268,9 +327,60 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommands: inspect/clear/warm the artifact store."""
+    action = args.subcommand or "stats"
+    if action not in CACHE_ACTIONS:
+        print(
+            f"error: unknown cache action {action!r}; "
+            f"expected one of {', '.join(CACHE_ACTIONS)}",
+            file=sys.stderr,
+        )
+        return 2
+    store = _store_from_args(args, default=True)
+    if action == "stats":
+        info = store.describe()
+        print(f"artifact store: {info['root']} (layout {info['layout']})")
+        for kind, count in info["entries"].items():
+            print(f"  {kind:>10}: {count} entries")
+        print(f"  {'total':>10}: {info['total_entries']} entries, "
+              f"{info['size_bytes']} bytes")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    # warm: pay the design-time phase for a scenario once, into the store.
+    session = Session(workload=_workload(args), store=store)
+    session.cache.warm(session.workload, tuple(args.rus))
+    mob, ideal = session.cache.mobility_stats, session.cache.ideal_stats
+    print(
+        f"warmed {session.workload.name!r} at RUs {tuple(args.rus)}: "
+        f"{mob.computations} mobility computations, {ideal.computations} ideal "
+        f"makespans computed; {mob.disk_hits + ideal.disk_hits} already on disk "
+        f"({store.root})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
+
+    if args.subcommand is not None and command != "cache":
+        print(
+            f"error: unexpected argument {args.subcommand!r} after "
+            f"{command!r} (only 'cache' takes a subcommand)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None and command not in STORE_COMMANDS:
+        print(
+            f"error: --store is not supported by {command!r} "
+            f"(supported: {', '.join(STORE_COMMANDS)})",
+            file=sys.stderr,
+        )
+        return 2
 
     if command == "fig1":
         from repro.core.dynamic_list import replay_fig1
@@ -295,7 +405,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig9c": fig9.render_fig9c,
         }[command]
         sweep = runner(
-            _workload(args), tuple(args.rus), parallel=args.jobs, trace=args.trace_mode
+            _workload(args),
+            tuple(args.rus),
+            parallel=args.jobs,
+            trace=args.trace_mode,
+            store=_store_from_args(args),
         )
         print(renderer(sweep))
         if args.export_csv:
@@ -308,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_single(args)
     if command == "sweep":
         return _run_sweep(args)
+    if command == "cache":
+        return _run_cache(args)
     if command == "scenarios":
         from repro.util.tables import TextTable
 
@@ -330,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(hybrid_speedup.render_hybrid_speedup())
         return 0
     if command == "ablation":
-        print(ablation_mod.render_all_ablations())
+        print(ablation_mod.render_all_ablations(store=_store_from_args(args)))
         return 0
     if command == "sensitivity":
         from repro.experiments.sensitivity import render_sensitivity, run_sensitivity

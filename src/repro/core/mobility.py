@@ -19,17 +19,32 @@ The delays are *forced* through the manager's ``forced_delays`` hook —
 they happen regardless of replacement decisions, exactly like the tentative
 delays in the paper's Fig. 7 worked example.
 
+**Search strategies.**  The literal Fig. 6 scan simulates every delay
+1, 2, ... until the makespan grows — O(mobility) isolated simulations per
+task.  The delayed makespan is non-decreasing in the delay (delaying a
+load strictly later can only push work later), so the production default
+``search="bisect"`` exponentially probes 1, 2, 4, ... for the first
+harmful delay and then bisects the bracket — O(log mobility) simulations,
+with *identical* results.  ``verify=True`` additionally runs the literal
+linear scan per task and falls back to its answer (with a warning) on any
+divergence; the test suite runs the cross-check over every registered
+scenario so the golden mobility tables stay byte-identical.
+
 This module also provides :class:`PurelyRuntimeMobilityAdvisor`, the
 "equivalent purely run-time" comparator from the paper's abstract: it
 recomputes mobility on the fly at every replacement decision instead of
 reading a precomputed table.  The ~10x hybrid speed-up claim is reproduced
-by benchmarking the two (experiment X-HYB).
+by benchmarking the two (experiment X-HYB).  The comparator deliberately
+runs the *literal* linear scan with no memoization — it models the cost of
+not having a design-time phase, so it must not inherit the design-time
+engine's shortcuts.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.exceptions import SimulationError
@@ -40,6 +55,12 @@ from repro.sim.semantics import ManagerSemantics
 from repro.core.policies.base import ReplacementPolicy
 from repro.core.policies.lfd import LocalLFDPolicy
 from repro.core.replacement_module import PolicyAdvisor
+
+#: Valid delay-search strategies (see :class:`MobilityCalculator`).
+SEARCH_MODES = ("bisect", "linear")
+
+#: Sentinel makespan for infeasible delays (effectively +inf).
+_INFEASIBLE = 2**63
 
 
 @dataclass(frozen=True)
@@ -74,6 +95,21 @@ class MobilityCalculator:
     max_mobility:
         Safety cap on the per-task search (defaults to twice the graph
         size plus a margin — more delay slots than events cannot help).
+    search:
+        ``"bisect"`` (default) — exponential probe then bisection over the
+        delay axis, O(log mobility) simulations per task.
+        ``"linear"`` — the literal Fig. 6 scan, O(mobility) simulations.
+        Both return identical tables (monotone delayed makespan).
+    verify:
+        Cross-check every bisect result against the literal linear scan;
+        on divergence warn and return the linear (paper-literal) answer.
+        Expensive — meant for tests and golden-table audits, not sweeps.
+    memoize_reference:
+        Cache the reference makespan per graph across calls, so repeated
+        ``compute``/``compute_tables`` invocations on the same calculator
+        (e.g. by the session's artifact cache) pay the reference schedule
+        once.  Disabled by the purely-run-time comparator, which must pay
+        the full literal cost on every decision.
     """
 
     def __init__(
@@ -83,21 +119,38 @@ class MobilityCalculator:
         semantics: ManagerSemantics = ManagerSemantics(),
         policy_factory=LocalLFDPolicy,
         max_mobility: Optional[int] = None,
+        search: str = "bisect",
+        verify: bool = False,
+        memoize_reference: bool = True,
     ) -> None:
         if n_rus < 1:
             raise ValueError(f"n_rus must be >= 1, got {n_rus}")
         if reconfig_latency < 0:
             raise ValueError(f"reconfig_latency must be >= 0, got {reconfig_latency}")
+        if search not in SEARCH_MODES:
+            raise ValueError(f"search must be one of {SEARCH_MODES}, got {search!r}")
         self.n_rus = n_rus
         self.reconfig_latency = reconfig_latency
         self.semantics = semantics
         self.policy_factory = policy_factory
         self.max_mobility = max_mobility
+        self.search = search
+        self.verify = verify
+        self.memoize_reference = memoize_reference
+        # Reference makespans keyed by graph *content* digest: identical
+        # graphs share entries without pinning the objects, and the map is
+        # capped (FIFO eviction) so a long-lived calculator shared across
+        # many generated workloads cannot grow without bound.
+        self._reference_cache: Dict[str, int] = {}
+        self._reference_cache_cap = 512
+        #: Isolated simulations run so far (observable by perf tests).
+        self.simulations = 0
 
     # ------------------------------------------------------------------
     def _isolated_makespan(
         self, graph: TaskGraph, forced_delays: Optional[Mapping] = None
     ) -> int:
+        self.simulations += 1
         manager = ExecutionManager(
             graphs=[graph],
             n_rus=self.n_rus,
@@ -111,7 +164,19 @@ class MobilityCalculator:
 
     def reference_makespan(self, graph: TaskGraph) -> int:
         """Makespan of the all-mobility-zero ASAP schedule (Fig. 7a)."""
-        return self._isolated_makespan(graph)
+        if not self.memoize_reference:
+            return self._isolated_makespan(graph)
+        from repro.artifacts.keys import graphs_content_key
+
+        key = graphs_content_key([graph])
+        cached = self._reference_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._isolated_makespan(graph)
+        if len(self._reference_cache) >= self._reference_cache_cap:
+            self._reference_cache.pop(next(iter(self._reference_cache)))
+        self._reference_cache[key] = value
+        return value
 
     def delayed_makespan(self, graph: TaskGraph, node_id: int, delay_events: int) -> int:
         """Makespan when ``node_id``'s load is delayed ``delay_events`` events.
@@ -126,8 +191,75 @@ class MobilityCalculator:
                 graph, forced_delays={(0, node_id): delay_events}
             )
         except SimulationError:
-            return 2**63  # effectively +inf: the delay is infeasible
+            return _INFEASIBLE  # effectively +inf: the delay is infeasible
 
+    # ------------------------------------------------------------------
+    # Per-task delay search
+    # ------------------------------------------------------------------
+    def _linear_mobility(self, graph: TaskGraph, node_id: int, reference: int, cap: int) -> int:
+        """The literal Fig. 6 scan: largest harmless delay, one sim each."""
+        mobility = 0
+        while mobility < cap:
+            if self.delayed_makespan(graph, node_id, mobility + 1) > reference:
+                break
+            mobility += 1
+        return mobility
+
+    def _bisect_mobility(self, graph: TaskGraph, node_id: int, reference: int, cap: int) -> int:
+        """Exponential probe + bisection for the first harmful delay.
+
+        Relies on the delayed makespan being non-decreasing in the delay;
+        under that invariant the result equals :meth:`_linear_mobility`
+        exactly (and ``verify=True`` re-checks it per task).
+        """
+        def harmful(delay: int) -> bool:
+            return self.delayed_makespan(graph, node_id, delay) > reference
+
+        # Probe 1, 2, 4, ... for a bracket [last_ok, first_harmful].
+        last_ok = 0
+        probe = 1
+        first_harmful = None
+        while probe <= cap:
+            if harmful(probe):
+                first_harmful = probe
+                break
+            last_ok = probe
+            probe *= 2
+        if first_harmful is None:
+            if last_ok < cap and harmful(cap):
+                first_harmful = cap
+            else:
+                # Every delay up to the cap is harmless (or the cap itself
+                # was already probed harmless): mobility saturates.
+                return cap
+        # Invariant: last_ok harmless, first_harmful harmful.
+        lo, hi = last_ok, first_harmful
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if harmful(mid):
+                hi = mid
+            else:
+                lo = mid
+        return lo
+
+    def _task_mobility(self, graph: TaskGraph, node_id: int, reference: int, cap: int) -> int:
+        if self.search == "linear":
+            return self._linear_mobility(graph, node_id, reference, cap)
+        fast = self._bisect_mobility(graph, node_id, reference, cap)
+        if self.verify:
+            literal = self._linear_mobility(graph, node_id, reference, cap)
+            if literal != fast:  # pragma: no cover - monotonicity safety net
+                warnings.warn(
+                    f"bisect mobility search diverged from the literal Fig. 6 "
+                    f"scan for {graph.name!r} task {node_id} "
+                    f"(bisect={fast}, linear={literal}); using the literal value",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return literal
+        return fast
+
+    # ------------------------------------------------------------------
     def compute(self, graph: TaskGraph) -> MobilityResult:
         """Run the full Fig. 6 algorithm for one graph."""
         t0 = time.perf_counter()
@@ -140,13 +272,7 @@ class MobilityCalculator:
         )
         mobilities: Dict[int, int] = {order[0]: 0}
         for node_id in order[1:]:
-            mobility = 0
-            while mobility < cap:
-                new_makespan = self.delayed_makespan(graph, node_id, mobility + 1)
-                if new_makespan > reference:
-                    break
-                mobility += 1
-            mobilities[node_id] = mobility
+            mobilities[node_id] = self._task_mobility(graph, node_id, reference, cap)
         return MobilityResult(
             graph_name=graph.name,
             n_rus=self.n_rus,
@@ -159,7 +285,10 @@ class MobilityCalculator:
     def compute_tables(self, graphs: Sequence[TaskGraph]) -> Dict[str, Dict[int, int]]:
         """Mobility tables for a whole application set, keyed by graph name.
 
-        Graphs sharing a name (repeated instances) are computed once.
+        Graphs sharing a name (repeated instances) are computed once, and
+        one calculator reuses its memoized reference schedules across
+        calls — hold on to the instance when computing tables for several
+        workloads over the same catalog.
         """
         tables: Dict[str, Dict[int, int]] = {}
         for graph in graphs:
@@ -175,7 +304,16 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
     instead of reading a precomputed mobility table it *recomputes* the
     incoming task's mobility with the full Fig. 6 search on every decision.
     Functionally identical; computationally ~an-order-of-magnitude slower —
-    which is precisely the hybrid design-time/run-time argument.
+    which is precisely the hybrid design-time/run-time argument.  Its
+    internal calculator runs the literal linear scan with reference
+    memoization disabled, so it pays the true no-design-time cost rather
+    than inheriting the design-time engine's speedups.
+
+    Like :class:`PolicyAdvisor`, it forwards the manager's bookkeeping
+    notifications to the wrapped policy — stateful policies (LRU, LFU,
+    LRU-K, CLOCK) must observe the same loads/reuses/execution ends under
+    both advisors, otherwise the "functionally identical" comparison runs
+    the policy on stale state.
     """
 
     def __init__(
@@ -189,7 +327,11 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
         self.policy = policy
         self.graphs_by_name = dict(graphs_by_name)
         self.calculator = MobilityCalculator(
-            n_rus=n_rus, reconfig_latency=reconfig_latency, semantics=semantics
+            n_rus=n_rus,
+            reconfig_latency=reconfig_latency,
+            semantics=semantics,
+            search="linear",
+            memoize_reference=False,
         )
         self._cacheless_decisions = 0
 
@@ -200,7 +342,7 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
         if reusable:
             mobility = self._online_mobility(ctx)
             if mobility > ctx.skipped_events:
-                return Decision.skip_event()
+                return Decision.skip_event(victim_index)
         return Decision.load(victim_index)
 
     def _online_mobility(self, ctx: DecisionContext) -> int:
@@ -213,3 +355,15 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
     def reset(self) -> None:
         self.policy.reset()
         self._cacheless_decisions = 0
+
+    # Forward manager bookkeeping to stateful policies, exactly as
+    # PolicyAdvisor does — the comparator must differ only in *where* the
+    # mobility number comes from, never in what the policy observes.
+    def on_load_complete(self, ru_index: int, config, now: int) -> None:
+        self.policy.on_load_complete(ru_index, config, now)
+
+    def on_reuse(self, ru_index: int, config, now: int) -> None:
+        self.policy.on_reuse(ru_index, config, now)
+
+    def on_execution_end(self, ru_index: int, config, now: int) -> None:
+        self.policy.on_execution_end(ru_index, config, now)

@@ -70,7 +70,9 @@ class PolicyAdvisor(ReplacementAdvisor):
     def decide(self, ctx: DecisionContext) -> Decision:
         victim_index = self.policy.select_victim(ctx)
         if self.skip_events and self._should_skip(ctx, victim_index):
-            return Decision.skip_event()
+            # The skip carries the policy's actual victim so the trace
+            # reports which configuration the delay protected.
+            return Decision.skip_event(victim_index)
         return Decision.load(victim_index)
 
     def _should_skip(self, ctx: DecisionContext, victim_index: int) -> bool:

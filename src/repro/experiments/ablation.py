@@ -72,6 +72,18 @@ def _session(
     return Session(workload=workload, cache=cache)
 
 
+def make_ablation_cache(store=None) -> ArtifactCache:
+    """Shared cache for a full ablation pass; ``store`` (an
+    :class:`~repro.artifacts.store.ArtifactStore` or directory path) adds
+    the persistent disk tier so repeated ablation runs skip the
+    design-time phase."""
+    from repro.artifacts import ArtifactStore
+
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    return ArtifactCache(store=store)
+
+
 def _local_lfd(window: int, **overrides) -> PolicySpec:
     return PolicySpec(
         label=f"Local LFD ({window})",
@@ -215,11 +227,12 @@ def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
     return table.render()
 
 
-def render_all_ablations(workload: Optional[Workload] = None) -> str:
+def render_all_ablations(workload: Optional[Workload] = None, store=None) -> str:
     # Resolve the default workload once and share one artifact cache, so
-    # the six studies really do compute each design-time artifact once.
+    # the six studies really do compute each design-time artifact once
+    # (once *ever*, when a persistent store is attached).
     workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    cache = ArtifactCache()
+    cache = make_ablation_cache(store)
     sections = [
         render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload, cache=cache)),
         render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload, cache=cache)),

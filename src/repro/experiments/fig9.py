@@ -52,20 +52,24 @@ def run_policy_sweep(
     parallel: int = 1,
     hooks: Iterable[SessionHooks] = (),
     trace: str = "full",
+    store=None,
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
     Mobility tables are computed once per (graph, n_rus) — the design-time
     phase — and shared by all skip-enabled specs; the zero-latency ideal is
-    computed once per n_rus and shared by all specs.  Both now come from
-    the session's content-keyed artifact cache.  ``trace="aggregate"``
+    computed once per n_rus and shared by all specs.  Both come from the
+    session's content-keyed artifact cache; pass ``store`` (an
+    :class:`~repro.artifacts.store.ArtifactStore` or a directory path) to
+    add the persistent disk tier so repeated invocations — including fresh
+    processes — skip the design-time phase entirely.  ``trace="aggregate"``
     streams each cell through the O(1) aggregate sink — identical records,
     flat memory — which is what the CLI's ``--trace-mode`` selects for
     long workloads.
     """
     if workload is None:
         workload = paper_evaluation_workload()
-    session = Session(workload=workload, hooks=hooks, trace=trace)
+    session = Session(workload=workload, hooks=hooks, trace=trace, store=store)
     return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
 
 
@@ -74,11 +78,12 @@ def run_fig9a(
     ru_counts=PAPER_RU_COUNTS,
     parallel: int = 1,
     trace: str = "full",
+    store=None,
 ) -> SweepResult:
     """Fig. 9a: reuse rates, ASAP loading (mobility 0 everywhere)."""
     return run_policy_sweep(
         fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel,
-        trace=trace,
+        trace=trace, store=store,
     )
 
 
@@ -87,6 +92,7 @@ def run_fig9b(
     ru_counts=PAPER_RU_COUNTS,
     parallel: int = 1,
     trace: str = "full",
+    store=None,
 ) -> SweepResult:
     """Fig. 9b: reuse rates with the Skip Event feature."""
     return run_policy_sweep(
@@ -96,6 +102,7 @@ def run_fig9b(
         ru_counts,
         parallel,
         trace=trace,
+        store=store,
     )
 
 
@@ -104,6 +111,7 @@ def run_fig9c(
     ru_counts=PAPER_RU_COUNTS,
     parallel: int = 1,
     trace: str = "full",
+    store=None,
 ) -> SweepResult:
     """Fig. 9c: remaining reconfiguration overhead (%)."""
     return run_policy_sweep(
@@ -113,6 +121,7 @@ def run_fig9c(
         ru_counts,
         parallel,
         trace=trace,
+        store=store,
     )
 
 

@@ -15,6 +15,14 @@ two implementations:
 
 Both make identical decisions; only where the mobility computation happens
 differs.  The reported number is the per-decision speed-up.
+
+The purely run-time comparator pays the *literal* Fig. 6 linear scan with
+no memoization — it models the absence of a design-time phase.  The
+hybrid's one-off design-time cost is measured with the production engine
+(exponential-probe-then-bisect, memoized reference schedules; see
+:class:`~repro.core.mobility.MobilityCalculator`), which widens the
+amortized gap further: the design-time phase itself got cheaper while the
+run-time table lookup stayed O(1).
 """
 
 from __future__ import annotations
@@ -98,6 +106,8 @@ def run_hybrid_speedup(
     )
     runtime_us = measure_calls(lambda: runtime.decide(ctx), calls_runtime) * 1e6
 
+    # One-off design-time cost, measured with the production search engine
+    # (bisect + memoized reference; a fresh calculator so nothing is warm).
     calc = MobilityCalculator(n_rus=DEVICE.n_rus, reconfig_latency=DEVICE.reconfig_latency)
     import time
 

@@ -12,7 +12,10 @@ something every experiment re-wires by hand:
 and the session runs any number of ``(spec, n_rus)`` cells over them,
 computing the design-time artifacts — mobility tables and the
 zero-latency ideal makespan — **once** per ``(workload, n_rus)`` in a
-content-keyed :class:`ArtifactCache` shared by every cell.
+content-keyed two-tier :class:`ArtifactCache` shared by every cell.
+Attach a persistent :class:`~repro.artifacts.store.ArtifactStore`
+(``Session(store=...)``) and "once" holds across processes: warm runs
+serve every artifact from disk and skip the design-time phase entirely.
 
 ``Session.sweep(specs, ru_counts, parallel=N)`` fans independent cells out
 over a :class:`concurrent.futures.ProcessPoolExecutor`; ``Session.grid``
@@ -34,87 +37,183 @@ Example::
 
 from __future__ import annotations
 
-import hashlib
-import json
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.artifacts.keys import (
+    arrival_fingerprint,
+    graphs_content_key,
+    ideal_key,
+    ideal_semantics_fingerprint,
+    mobility_key,
+    workload_content_key,  # noqa: F401  (re-exported; was defined here)
+)
+from repro.artifacts.schema import (
+    decode_ideal,
+    decode_mobility_tables,
+    encode_ideal,
+    encode_mobility_tables,
+)
+from repro.artifacts.store import ArtifactStore
 from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
 from repro.core.policy_spec import PolicySpec
 from repro.exceptions import ExperimentError
-from repro.graphs.serialization import graph_to_dict
 from repro.graphs.task_graph import TaskGraph
 from repro.metrics.summary import PolicyRunRecord, SweepResult
 from repro.sim.manager import MobilityTables
+from repro.sim.semantics import ManagerSemantics
 from repro.sim.simulator import SimulationResult, ideal_makespan, run_simulation
 from repro.sim.tracing import TraceMode, TraceSink
 from repro.workloads.sequence import Workload
 
 
 # ----------------------------------------------------------------------
-# Content keys and the design-time artifact cache
+# The two-tier design-time artifact cache
 # ----------------------------------------------------------------------
-def workload_content_key(workload: Workload) -> str:
-    """Stable digest of a workload's *content* (graphs + sequence).
-
-    Two workloads with identical application structures and identical
-    sequences share design-time artifacts regardless of how they were
-    constructed, so the cache keys on content rather than object identity
-    or scenario name.
-    """
-    payload = {
-        "graphs": [graph_to_dict(g) for g in workload.distinct_graphs()],
-        "sequence": [g.name for g in workload.apps],
-    }
-    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
-
-
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one artifact kind (observable by tests)."""
+    """Hit/miss counters for one artifact kind (observable by tests).
+
+    ``hits`` counts memory-tier hits, ``disk_hits`` counts entries served
+    from the persistent :class:`~repro.artifacts.store.ArtifactStore`
+    (always 0 without a store), and ``misses`` counts memory-tier misses;
+    ``computations`` is what actually ran the design-time phase.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def computations(self) -> int:
-        return self.misses
+        return self.misses - self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "computations": self.computations,
+        }
 
 
 class ArtifactCache:
-    """Content-keyed cache of design-time artifacts.
+    """Content-keyed two-tier (memory -> disk) design-time artifact cache.
 
-    Stores, per ``(workload content, n_rus)``:
+    Stores:
 
-    * the **zero-latency ideal makespan** (latency-independent — the ideal
-      run reconfigures for free, so one entry serves every latency);
-    * per ``(workload content, n_rus, reconfig_latency)`` the **mobility
-      tables** of the workload's distinct graphs (paper Fig. 6/7 —
-      latency-dependent because delayed schedules shift by it).
+    * the **zero-latency ideal makespan** per ``(workload content, n_rus,
+      arrival pattern)`` — latency-independent (the ideal run reconfigures
+      for free, so one entry serves every latency), but *arrival*-dependent:
+      a staggered workload's baseline includes the arrival idle time, and
+      sharing the saturated baseline would book that wait as
+      reconfiguration overhead;
+    * the **mobility tables** per ``(graph catalog content, n_rus,
+      reconfig_latency)`` (paper Fig. 6/7 — latency-dependent because
+      delayed schedules shift by it).  On disk the tables key on the
+      *distinct graphs* only, so workloads drawing different sequences
+      from the same catalog share them.
+
+    With ``store=None`` the cache is purely in-memory (one process pays
+    each computation once — the pre-store behaviour).  With a
+    :class:`~repro.artifacts.store.ArtifactStore` every miss consults the
+    disk tier before computing and publishes what it computed, so fresh
+    processes, CLI invocations and ``parallel=N`` pools sharing the store
+    directory pay the design-time phase exactly once overall.
 
     A cache may be shared between sessions (e.g. one session per seed over
     the same catalog) — keys never collide across different content.
     """
 
-    def __init__(self) -> None:
-        self._ideal: Dict[Tuple[str, int], int] = {}
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store
+        self._ideal: Dict[Tuple[str, int, str, str], int] = {}
         self._mobility: Dict[Tuple[str, int, int], MobilityTables] = {}
+        self._calculators: Dict[Tuple[int, int], MobilityCalculator] = {}
         self.ideal_stats = CacheStats()
         self.mobility_stats = CacheStats()
 
+    def _store_put(self, kind: str, key: str, entry) -> None:
+        """Publish best-effort: the value is already computed, so a disk
+        failure (full/unwritable/NFS hiccup) must not abort the sweep —
+        warn once and degrade to memory-only for the rest of this cache's
+        life (reads were already failure-tolerant)."""
+        from repro.artifacts.store import ArtifactStoreError
+
+        try:
+            self.store.put(kind, key, entry)
+        except ArtifactStoreError as exc:
+            import warnings
+
+            warnings.warn(
+                f"artifact store disabled for this cache after a write "
+                f"failure ({exc}); continuing memory-only",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.store = None
+
+    def stats_summary(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "ideal": self.ideal_stats.as_dict(),
+            "mobility": self.mobility_stats.as_dict(),
+        }
+
+    def _calculator(self, n_rus: int, reconfig_latency: int) -> MobilityCalculator:
+        """One calculator per device sizing, reused across compute_tables
+        calls so reference schedules stay memoized."""
+        key = (n_rus, reconfig_latency)
+        calc = self._calculators.get(key)
+        if calc is None:
+            calc = self._calculators[key] = MobilityCalculator(
+                n_rus=n_rus, reconfig_latency=reconfig_latency
+            )
+        return calc
+
     def ideal_makespan_us(
-        self, content_key: str, apps: Sequence[TaskGraph], n_rus: int
+        self,
+        content_key: str,
+        apps: Sequence[TaskGraph],
+        n_rus: int,
+        arrival_times: Optional[Sequence[int]] = None,
+        semantics: ManagerSemantics = ManagerSemantics(),
     ) -> int:
-        key = (content_key, n_rus)
+        key = (
+            content_key,
+            n_rus,
+            arrival_fingerprint(arrival_times),
+            ideal_semantics_fingerprint(semantics),
+        )
         if key in self._ideal:
             self.ideal_stats.hits += 1
             return self._ideal[key]
         self.ideal_stats.misses += 1
-        value = ideal_makespan(apps, n_rus)
+        disk_key = ideal_key(content_key, n_rus, arrival_times, semantics)
+        if self.store is not None:
+            stored = self.store.load("ideal", disk_key, decode_ideal)
+            if stored is not None:
+                self.ideal_stats.disk_hits += 1
+                self._ideal[key] = stored
+                return stored
+        value = ideal_makespan(apps, n_rus, arrival_times=arrival_times, semantics=semantics)
         self._ideal[key] = value
+        if self.store is not None:
+            self._store_put(
+                "ideal",
+                disk_key,
+                encode_ideal(
+                    disk_key,
+                    value,
+                    meta={
+                        "n_rus": n_rus,
+                        "arrivals": arrival_fingerprint(arrival_times),
+                        "content_key": content_key,
+                    },
+                ),
+            )
         return value
 
     def mobility_tables(
@@ -129,11 +228,53 @@ class ArtifactCache:
             self.mobility_stats.hits += 1
             return self._mobility[key]
         self.mobility_stats.misses += 1
-        tables = MobilityCalculator(
-            n_rus=n_rus, reconfig_latency=reconfig_latency
-        ).compute_tables(distinct_graphs)
+        if self.store is not None:
+            # Disk entries key on the graph catalog, not the sequence:
+            # every workload over the same applications shares them.
+            catalog_key = graphs_content_key(distinct_graphs)
+            disk_key = mobility_key(catalog_key, n_rus, reconfig_latency)
+            stored = self.store.load("mobility", disk_key, decode_mobility_tables)
+            if stored is not None:
+                self.mobility_stats.disk_hits += 1
+                self._mobility[key] = stored
+                return stored
+        tables = self._calculator(n_rus, reconfig_latency).compute_tables(distinct_graphs)
         self._mobility[key] = tables
+        if self.store is not None:
+            self._store_put(
+                "mobility",
+                disk_key,
+                encode_mobility_tables(
+                    disk_key,
+                    tables,
+                    meta={
+                        "n_rus": n_rus,
+                        "reconfig_latency": reconfig_latency,
+                        "graphs": sorted(g.name for g in distinct_graphs),
+                    },
+                ),
+            )
         return tables
+
+    def warm(
+        self,
+        workload: Workload,
+        ru_counts: Sequence[int],
+        reconfig_latencies: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Precompute (or fault in) every artifact for a workload sweep."""
+        content = workload_content_key(workload)
+        latencies = (
+            tuple(reconfig_latencies)
+            if reconfig_latencies is not None
+            else (workload.reconfig_latency,)
+        )
+        for n_rus in ru_counts:
+            self.ideal_makespan_us(content, list(workload.apps), n_rus)
+            for latency in latencies:
+                self.mobility_tables(
+                    content, workload.distinct_graphs(), n_rus, latency
+                )
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +385,12 @@ class Session:
         Iterable of :class:`SessionHooks` observers.
     cache:
         A shared :class:`ArtifactCache`; by default each session owns one.
+    store:
+        A persistent :class:`~repro.artifacts.store.ArtifactStore` (or a
+        directory path for one): the session's cache gains a disk tier so
+        design-time artifacts survive the process and are shared with
+        concurrent workers.  Mutually exclusive with ``cache`` — pass a
+        preconfigured ``ArtifactCache(store=...)`` to combine both.
     trace:
         Default trace mode for every run of this session: ``"full"``
         (classic record lists, the default), ``"aggregate"`` (O(1)
@@ -260,6 +407,7 @@ class Session:
         *,
         hooks: Iterable[SessionHooks] = (),
         cache: Optional[ArtifactCache] = None,
+        store: Union[ArtifactStore, str, Path, None] = None,
         trace: TraceMode = "full",
         **scenario_kwargs,
     ) -> None:
@@ -276,7 +424,14 @@ class Session:
             )
         self.workload = workload
         self.device = device or Device.from_workload(workload)
-        self.cache = cache or ArtifactCache()
+        if store is not None and cache is not None:
+            raise ExperimentError(
+                "pass either cache= or store=, not both (use "
+                "ArtifactCache(store=...) to share a cache with a disk tier)"
+            )
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.cache = cache or ArtifactCache(store=store)
         self.hooks: Tuple[SessionHooks, ...] = tuple(hooks)
         self.trace_mode: TraceMode = trace
         self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
@@ -304,10 +459,24 @@ class Session:
         return mode
 
     # -- design-time artifacts ------------------------------------------
-    def ideal_makespan_us(self, n_rus: Optional[int] = None) -> int:
-        """Cached zero-latency ideal for this workload at ``n_rus``."""
+    def ideal_makespan_us(
+        self,
+        n_rus: Optional[int] = None,
+        arrival_times: Optional[Sequence[int]] = None,
+        semantics: ManagerSemantics = ManagerSemantics(),
+    ) -> int:
+        """Cached zero-latency ideal for this workload at ``n_rus``.
+
+        The ideal honours the same arrival times (and manager semantics)
+        as the measured run, and is cached per arrival pattern — idle
+        waiting for a late application is not reconfiguration overhead.
+        """
         return self.cache.ideal_makespan_us(
-            self._content_key, self._apps, n_rus or self.device.n_rus
+            self._content_key,
+            self._apps,
+            n_rus or self.device.n_rus,
+            arrival_times=arrival_times,
+            semantics=semantics,
         )
 
     def mobility_tables(
@@ -321,13 +490,19 @@ class Session:
             self.device.reconfig_latency if reconfig_latency is None else reconfig_latency,
         )
 
-    def _cell_artifacts(self, cell: SweepCell):
+    def _cell_artifacts(
+        self, cell: SweepCell, arrival_times: Optional[Sequence[int]] = None
+    ):
         mobility = (
             self.mobility_tables(cell.n_rus, cell.reconfig_latency)
             if cell.spec.skip_events
             else None
         )
-        ideal = self.ideal_makespan_us(cell.n_rus)
+        ideal = self.ideal_makespan_us(
+            cell.n_rus,
+            arrival_times=arrival_times,
+            semantics=cell.spec.make_semantics(),
+        )
         return mobility, ideal
 
     # -- single runs ----------------------------------------------------
@@ -343,11 +518,12 @@ class Session:
 
         ``n_rus``/``reconfig_latency`` override the session device for this
         run only.  With ``arrival_times`` the zero-latency ideal is
-        recomputed under the same arrivals (idle waiting must not be
-        misread as reconfiguration overhead), bypassing the cache.
-        ``trace`` overrides the session's trace mode for this run;
-        observers registered through ``hooks`` may attach extra sinks via
-        :meth:`SessionHooks.trace_sinks`.
+        computed under the same arrivals (idle waiting must not be
+        misread as reconfiguration overhead) and cached per arrival
+        pattern — repeated runs over the same arrivals, and any attached
+        artifact store, reuse it.  ``trace`` overrides the session's trace
+        mode for this run; observers registered through ``hooks`` may
+        attach extra sinks via :meth:`SessionHooks.trace_sinks`.
         """
         cell = SweepCell(
             spec=spec,
@@ -357,17 +533,7 @@ class Session:
             ),
         )
         self._emit("on_run_start", cell)
-        if arrival_times is not None:
-            # The cached ideal assumes saturated arrivals; compute a
-            # dedicated one instead of caching a value no run would use.
-            mobility = (
-                self.mobility_tables(cell.n_rus, cell.reconfig_latency)
-                if spec.skip_events
-                else None
-            )
-            ideal = _arrival_aware_ideal(self._apps, cell.n_rus, arrival_times)
-        else:
-            mobility, ideal = self._cell_artifacts(cell)
+        mobility, ideal = self._cell_artifacts(cell, arrival_times=arrival_times)
         result = run_simulation(
             self._apps,
             n_rus=cell.n_rus,
@@ -544,20 +710,3 @@ def _run_cell_local(
         extra_sinks=extra_sinks,
     )
     return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)
-
-
-def _arrival_aware_ideal(
-    apps: Sequence[TaskGraph], n_rus: int, arrival_times: Sequence[int]
-) -> int:
-    """Zero-latency ideal honouring the same arrival times as the run."""
-    from repro.sim.manager import ExecutionManager
-    from repro.sim.simulator import _FirstCandidateAdvisor
-
-    return ExecutionManager(
-        graphs=apps,
-        n_rus=n_rus,
-        reconfig_latency=0,
-        advisor=_FirstCandidateAdvisor(),
-        arrival_times=arrival_times,
-        trace="aggregate",  # only the makespan is read
-    ).run().makespan

@@ -75,9 +75,16 @@ class DecisionContext:
 
 @dataclass(frozen=True)
 class Decision:
-    """Advisor verdict for one load attempt."""
+    """Advisor verdict for one load attempt.
 
-    victim_index: Optional[int]   # RU index to evict; None => skip
+    For a load, ``victim_index`` is the RU to evict.  For a skip it is
+    the RU whose configuration the skip *protects* (the victim the policy
+    selected before the skip rule fired) — optional for backwards
+    compatibility, but advisors should provide it so traces report the
+    spared configuration exactly instead of the manager guessing.
+    """
+
+    victim_index: Optional[int]   # RU index to evict (load) / protect (skip)
     skip: bool = False
 
     @staticmethod
@@ -85,8 +92,8 @@ class Decision:
         return Decision(victim_index=victim_index, skip=False)
 
     @staticmethod
-    def skip_event() -> "Decision":
-        return Decision(victim_index=None, skip=True)
+    def skip_event(victim_index: Optional[int] = None) -> "Decision":
+        return Decision(victim_index=victim_index, skip=True)
 
 
 class ReplacementAdvisor(abc.ABC):

@@ -414,7 +414,7 @@ class ExecutionManager:
             decision = self.advisor.decide(ctx)
             if decision.skip:
                 self.skipped_events[instance.app_index] = ctx.skipped_events + 1
-                victim_cfg = self._skip_victim_config(ctx)
+                victim_cfg = self._skip_victim_config(ctx, decision)
                 self._emit(
                     Skip(
                         time=self.clock,
@@ -438,8 +438,24 @@ class ExecutionManager:
             self._begin_load(self.rus[victim.index], instance)
             continue
 
-    def _skip_victim_config(self, ctx: DecisionContext) -> ConfigId:
-        """Best-effort record of which configuration a skip protected."""
+    def _skip_victim_config(self, ctx: DecisionContext, decision: Decision) -> ConfigId:
+        """Which configuration did this skip protect?
+
+        When the advisor reports the victim it selected before the skip
+        rule fired (``Decision.skip_event(victim_index)``), record that
+        exact configuration.  Only advisors that omit it fall back to the
+        old first-DL-resident-candidate heuristic, which could name the
+        wrong RU whenever the policy's choice was not the first candidate
+        holding a Dynamic-List configuration.
+        """
+        if decision.victim_index is not None:
+            for view in ctx.candidates:
+                if view.index == decision.victim_index:
+                    return view.config  # type: ignore[return-value]
+            raise PolicyError(
+                f"skip decision names RU{decision.victim_index}, not a candidate "
+                f"(candidates: {[v.index for v in ctx.candidates]})"
+            )
         for view in ctx.candidates:
             if view.config in ctx.dl_configs:
                 return view.config  # type: ignore[return-value]

@@ -130,7 +130,9 @@ def run_simulation(
     )
     trace_view = manager.run()
     if ideal_makespan_us is None:
-        ideal_makespan_us = ideal_makespan(graphs, n_rus)
+        ideal_makespan_us = ideal_makespan(
+            graphs, n_rus, arrival_times=arrival_times, semantics=semantics
+        )
     return SimulationResult(
         trace=trace_view,
         makespan_us=trace_view.makespan,
@@ -177,11 +179,23 @@ def simulate(
     )
 
 
-def ideal_makespan(graphs: Sequence[TaskGraph], n_rus: int) -> int:
+def ideal_makespan(
+    graphs: Sequence[TaskGraph],
+    n_rus: int,
+    arrival_times: Optional[Sequence[int]] = None,
+    semantics: ManagerSemantics = ManagerSemantics(),
+) -> int:
     """Makespan of the zero-reconfiguration-latency run on the same device.
 
     Computed by simulation with latency 0 so the result honours the exact
-    same barrier and resource semantics as the measured run.  For devices
+    same barrier, arrival and resource semantics as the measured run.
+    ``arrival_times`` must match the measured run's: an application cannot
+    start before it arrives even when loads are free, and an ideal that
+    ignores arrivals books that idle wait as reconfiguration overhead —
+    inflating ``overhead_us`` for every staggered-arrival workload.
+    ``semantics`` is threaded through for the same like-for-like reason
+    (at zero latency no current knob moves the makespan, but the baseline
+    must not silently assume that).  For saturated arrivals on devices
     with at least as many RUs as the widest application this equals the
     sum of the applications' critical paths (asserted by the test suite).
     The run streams through the aggregate sink — only the makespan is
@@ -192,6 +206,8 @@ def ideal_makespan(graphs: Sequence[TaskGraph], n_rus: int) -> int:
         n_rus=n_rus,
         reconfig_latency=0,
         advisor=_FirstCandidateAdvisor(),
+        semantics=semantics,
+        arrival_times=arrival_times,
         trace="aggregate",
     )
     return manager.run().makespan

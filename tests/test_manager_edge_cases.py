@@ -170,6 +170,70 @@ class TestSkipInteractions:
         assert skip.victim_config.node_id == 1
         assert skip.skipped_events_after == 1
 
+    def test_skip_records_policy_selected_victim_not_first_dl_candidate(self):
+        """Regression: Skip.victim_config used to record the first
+        DL-resident candidate, not the victim the policy actually chose.
+        A pick-the-last-candidate policy exposes the difference: both RUs
+        hold DL-resident G0 configurations, the policy selects G0 task 2
+        (the last candidate), and the trace must say so."""
+        from repro.core.policies.base import ReplacementPolicy
+        from repro.graphs.builders import independent_tasks_graph
+
+        class PickLast(ReplacementPolicy):
+            name = "pick-last"
+
+            def select_victim(self, ctx):
+                return ctx.candidates[-1].index
+
+            def describe(self):
+                return "pick-last"
+
+        g0 = independent_tasks_graph("G0", [ms(10), ms(10)])
+        h = chain_graph("H", [ms(10), ms(10)])
+        trace = run(
+            [g0, h, g0],
+            n_rus=3,
+            advisor=PolicyAdvisor(PickLast(), skip_events=True),
+            semantics=ManagerSemantics(lookahead_apps=2),
+            mobility_tables={"H": {1: 0, 2: 1}},
+        )
+        assert len(trace.skips) == 1
+        skip = trace.skips[0]
+        # The policy chose the *last* candidate (G0 task 2); the first
+        # DL-resident candidate (G0 task 1) would be the old wrong answer.
+        assert skip.victim_config.graph_name == "G0"
+        assert skip.victim_config.node_id == 2
+
+    def test_skip_without_victim_index_falls_back_to_heuristic(self):
+        """Advisors that skip without naming a victim keep the old
+        best-effort recording (first DL-resident candidate)."""
+        from repro.sim.interface import Decision, ReplacementAdvisor
+
+        class AnonymousSkipper(ReplacementAdvisor):
+            def __init__(self):
+                self.skipped = False
+
+            def decide(self, ctx):
+                if not self.skipped and len(ctx.candidates) > 1:
+                    self.skipped = True
+                    return Decision.skip_event()  # no victim reported
+                return Decision.load(ctx.candidates[0].index)
+
+        from repro.graphs.builders import independent_tasks_graph
+
+        g0 = independent_tasks_graph("G0", [ms(10), ms(10)])
+        h = chain_graph("H", [ms(10), ms(10)])
+        trace = run(
+            [g0, h, g0],
+            n_rus=3,
+            advisor=AnonymousSkipper(),
+            semantics=ManagerSemantics(lookahead_apps=2),
+            mobility_tables={"H": {1: 0, 2: 1}},
+        )
+        assert len(trace.skips) == 1
+        assert trace.skips[0].victim_config.graph_name == "G0"
+        assert trace.skips[0].victim_config.node_id == 1
+
     def test_mobility_tables_for_unknown_graph_default_zero(self):
         g = chain_graph("G", [ms(5)] * 5)
         trace = run(

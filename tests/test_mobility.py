@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core.mobility import MobilityCalculator, PurelyRuntimeMobilityAdvisor
+from repro.core.policies.classic import LRUPolicy
+from repro.core.policies.extended import LFUPolicy, LRUKPolicy
 from repro.core.policies.lfd import LocalLFDPolicy
 from repro.experiments.motivational import fig3_task_graph_2
 from repro.graphs.builders import chain_graph, fork_graph
@@ -118,6 +120,63 @@ class TestMobilityInvariants:
             if node == graph.reconfiguration_order()[0]:
                 continue
             assert calc.delayed_makespan(graph, node, mob + 1) > ref
+
+
+class TestPurelyRuntimeStatefulEquivalence:
+    """Regression: the purely-run-time comparator used to swallow the
+    manager's bookkeeping notifications, so stateful policies (LFU, LRU,
+    LRU-K) decided on stale state and the "functionally identical"
+    comparison silently wasn't.  LFU demonstrably diverged on this very
+    workload before the fix."""
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            LRUPolicy,
+            LFUPolicy,
+            lambda: LRUKPolicy(k=2),
+        ],
+        ids=["lru", "lfu", "lru-2"],
+    )
+    def test_stateful_policy_matches_policy_advisor_with_table(self, policy_factory):
+        from repro.core.replacement_module import PolicyAdvisor
+        from repro.sim.semantics import ManagerSemantics
+        from repro.sim.simulator import run_simulation
+        from repro.workloads.scenarios import make_scenario
+
+        workload = make_scenario("paper-eval", length=30)
+        graphs_by_name = {g.name: g for g in workload.distinct_graphs()}
+        tables = MobilityCalculator(
+            workload.n_rus, workload.reconfig_latency
+        ).compute_tables(workload.distinct_graphs())
+        semantics = ManagerSemantics(lookahead_apps=1)
+
+        hybrid = run_simulation(
+            workload.apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PolicyAdvisor(policy_factory(), skip_events=True),
+            semantics,
+            mobility_tables=tables,
+        )
+        runtime = run_simulation(
+            workload.apps,
+            workload.n_rus,
+            workload.reconfig_latency,
+            PurelyRuntimeMobilityAdvisor(
+                policy=policy_factory(),
+                graphs_by_name=graphs_by_name,
+                n_rus=workload.n_rus,
+                reconfig_latency=workload.reconfig_latency,
+                semantics=semantics,
+            ),
+            semantics,
+        )
+        assert runtime.makespan_us == hybrid.makespan_us
+        assert runtime.reuse_pct == hybrid.reuse_pct
+        assert runtime.trace.n_skips == hybrid.trace.n_skips
+        assert runtime.trace.evictions == hybrid.trace.evictions
+        assert runtime.trace.skips == hybrid.trace.skips
 
 
 class TestPurelyRuntimeAdvisor:

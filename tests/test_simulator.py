@@ -10,6 +10,7 @@ from repro.sim.semantics import ManagerSemantics
 from repro.sim.simtime import ms
 from repro.sim.simulator import (
     ideal_makespan,
+    run_simulation,
     simulate,
     sum_of_critical_paths,
 )
@@ -73,6 +74,45 @@ class TestSimulateMetrics:
             "n_apps",
         ):
             assert key in summary
+
+
+class TestArrivalAwareIdeal:
+    """Regression: ideal_makespan() used to drop arrival_times (and
+    semantics), so staggered-arrival runs booked idle waiting as
+    reconfiguration overhead."""
+
+    def test_staggered_overhead_equals_hand_computed_value(self):
+        # Two single-task apps, 10 ms each, 4 ms latency, app B arriving
+        # long after app A finished.  Measured: A loads 0-4, runs 4-14;
+        # B arrives at 100, loads 100-104, runs 104-114 -> makespan 114.
+        # Ideal (free loads, same arrivals): A runs 0-10, B runs 100-110
+        # -> 110.  Overhead is exactly one exposed latency, 4 ms — not
+        # the 94 ms the arrival-blind baseline (sum of critical paths,
+        # 20 ms) would report.
+        a = chain_graph("A", [ms(10)])
+        b = chain_graph("B", [ms(10)])
+        arrivals = [0, ms(100)]
+        result = run_simulation(
+            [a, b], 2, ms(4), PolicyAdvisor(LRUPolicy()), arrival_times=arrivals
+        )
+        assert result.makespan_us == ms(114)
+        assert result.ideal_makespan_us == ms(110)
+        assert result.overhead_us == ms(4)
+
+    def test_ideal_makespan_accepts_arrivals_directly(self):
+        a = chain_graph("A", [ms(10)])
+        b = chain_graph("B", [ms(10)])
+        assert ideal_makespan([a, b], 2) == ms(20)
+        assert ideal_makespan([a, b], 2, arrival_times=[0, ms(100)]) == ms(110)
+        # All-zero arrivals are the saturated default.
+        assert ideal_makespan([a, b], 2, arrival_times=[0, 0]) == ms(20)
+
+    def test_saturated_arrivals_unchanged(self):
+        """Zero-arrival workloads keep the golden baseline byte-identical."""
+        apps = benchmark_suite()
+        assert ideal_makespan(apps, 4, arrival_times=[0] * len(apps)) == ideal_makespan(
+            apps, 4
+        )
 
 
 class TestDeterminism:
