@@ -76,8 +76,22 @@ from repro.sim import (
     validate_trace,
 )
 from repro.artifacts import ArtifactStore, default_store_root
+from repro.hw import (
+    BitstreamLatency,
+    DeviceModel,
+    FixedLatency,
+    LatencyModel,
+    PAPER_DEVICE_MODEL,
+    PerConfigLatency,
+    RUSlot,
+    as_device_model,
+    available_device_presets,
+    make_device,
+    parse_latency_model,
+)
 from repro.session import (
     ArtifactCache,
+    DeviceCellRecord,
     GridCellRecord,
     Session,
     SessionHooks,
@@ -168,11 +182,24 @@ __all__ = [
     "ArtifactCache",
     "ArtifactStore",
     "default_store_root",
+    "DeviceCellRecord",
     "GridCellRecord",
     "Session",
     "SessionHooks",
     "SweepCell",
     "workload_content_key",
+    # hw (the first-class hardware model)
+    "BitstreamLatency",
+    "DeviceModel",
+    "FixedLatency",
+    "LatencyModel",
+    "PAPER_DEVICE_MODEL",
+    "PerConfigLatency",
+    "RUSlot",
+    "as_device_model",
+    "available_device_presets",
+    "make_device",
+    "parse_latency_model",
     # workloads
     "Workload",
     "available_scenarios",

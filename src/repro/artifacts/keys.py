@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from repro.graphs.serialization import graph_to_dict
 from repro.graphs.task_graph import TaskGraph
+from repro.hw.model import DeviceModel
 from repro.sim.semantics import ManagerSemantics
 
 #: Canonical marker for "no arrival staggering" (None or all-zero times).
@@ -98,29 +99,68 @@ def ideal_semantics_fingerprint(semantics: ManagerSemantics) -> str:
     return _digest(["ideal-semantics-v1", relevant])
 
 
+def device_fingerprint(device: Optional[DeviceModel]) -> Optional[dict]:
+    """Canonical device identity for artifact keys, or ``None``.
+
+    ``None`` — both for a missing device and for any
+    :meth:`~repro.hw.model.DeviceModel.is_paper_path` device — keeps the
+    legacy key payloads byte-identical, so warm stores populated before
+    the device-model refactor (and by scalar-device runs after it) stay
+    valid.  Only genuinely heterogeneous hardware grows the key.
+    """
+    if device is None or device.is_paper_path():
+        return None
+    return device.fingerprint()
+
+
 def ideal_key(
     content_key: str,
     n_rus: int,
     arrival_times: Optional[Sequence[int]] = None,
     semantics: ManagerSemantics = ManagerSemantics(),
+    device: Optional[DeviceModel] = None,
 ) -> str:
-    """Composite key for one zero-latency ideal makespan entry."""
-    return _digest(
-        [
-            "ideal",
-            content_key,
-            int(n_rus),
-            arrival_fingerprint(arrival_times),
-            ideal_semantics_fingerprint(semantics),
-        ]
-    )
+    """Composite key for one zero-latency ideal makespan entry.
+
+    The ideal reconfigures for free, so of the device model only a
+    genuinely heterogeneous *floorplan* (mixed slot capacities, which
+    constrain placement even at zero latency) can shape it.  The latency
+    model is deliberately excluded — one entry serves every latency on
+    the same floorplan — and so is the controller count: parallel
+    controllers only parallelise loads that already take zero time.
+    Uniform-capacity slots are excluded too: a configuration either fits
+    every slot or none (the latter fails at construction), so they never
+    constrain a feasible schedule.
+    """
+    payload = [
+        "ideal",
+        content_key,
+        int(n_rus),
+        arrival_fingerprint(arrival_times),
+        ideal_semantics_fingerprint(semantics),
+    ]
+    if device is not None and len({s.capacity_kb for s in device.slots}) > 1:
+        payload.append({"slots": [[s.kind, s.capacity_kb] for s in device.slots]})
+    return _digest(payload)
 
 
-def mobility_key(content_key: str, n_rus: int, reconfig_latency: int) -> str:
+def mobility_key(
+    content_key: str,
+    n_rus: int,
+    reconfig_latency: int,
+    device: Optional[DeviceModel] = None,
+) -> str:
     """Composite key for one workload's mobility tables entry.
 
     ``content_key`` is :func:`graphs_content_key` of the distinct graphs
     (or :func:`workload_content_key`; any stable content digest works as
-    long as producer and consumer agree).
+    long as producer and consumer agree).  A heterogeneous ``device``
+    extends the key with its full fingerprint — mobility depends on slot
+    compatibility, per-configuration load costs *and* the controller
+    count; paper-path devices keep the legacy payload byte-identical.
     """
-    return _digest(["mobility", content_key, int(n_rus), int(reconfig_latency)])
+    payload: list = ["mobility", content_key, int(n_rus), int(reconfig_latency)]
+    fp = device_fingerprint(device)
+    if fp is not None:
+        payload.append(fp)
+    return _digest(payload)

@@ -43,6 +43,11 @@ from typing import List, Optional
 
 from repro.core.policies.registry import available_policies, make_policy
 from repro.core.policy_spec import PolicySpec
+from repro.hw import (
+    available_device_presets,
+    make_device,
+    parse_latency_model,
+)
 from repro.experiments import ablation as ablation_mod
 from repro.experiments import fig9, hybrid_speedup, motivational, report, table1, table2
 from repro.session import Session, SessionHooks
@@ -202,6 +207,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="replacement policy for the 'run' command (default: local-lfd)",
     )
     parser.add_argument(
+        "--controllers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel reconfiguration controllers for the 'run' command; "
+            "forwarded to scenarios with a 'controllers' knob (e.g. "
+            "multi-controller), otherwise overrides the device model"
+        ),
+    )
+    parser.add_argument(
+        "--latency-model",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "reconfiguration latency model for the 'run' command: "
+            "'fixed:<us>' or 'per-kb:<us_per_kb>[+<base_us>]' "
+            "(bitstream-size-proportional)"
+        ),
+    )
+    parser.add_argument(
+        "--device",
+        choices=available_device_presets(),
+        default=None,
+        help=(
+            "device preset for the 'run' command (overrides the "
+            "scenario's device; see docs/device-model.md)"
+        ),
+    )
+    parser.add_argument(
         "--window",
         type=int,
         default=1,
@@ -237,11 +272,15 @@ def _store_from_args(args: argparse.Namespace, default: bool = False):
 
 
 def _workload(args: argparse.Namespace):
+    info = scenario_info(args.scenario)
     kwargs = {"length": args.length}
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    if args.scenario == "round-robin":
-        kwargs.pop("seed", None)
+    if getattr(args, "controllers", None) is not None:
+        kwargs["controllers"] = args.controllers
+    # Only forward knobs the factory actually has (round-robin takes no
+    # seed, most scenarios take no controller count).
+    kwargs = {k: v for k, v in kwargs.items() if k in info.parameters}
     return make_scenario(args.scenario, **kwargs)
 
 
@@ -281,15 +320,27 @@ def _run_single(args: argparse.Namespace) -> int:
             )
             return 2
         n_rus = args.rus[0]
+    workload = _workload(args)
+    preset = make_device(args.device) if args.device else None
     session = Session(
-        workload=_workload(args), trace=trace_mode, store=_store_from_args(args)
+        device=preset,
+        workload=workload,
+        trace=trace_mode,
+        store=_store_from_args(args),
     )
-    result = session.run(spec, n_rus=n_rus)
-    device_n_rus = n_rus or session.device.n_rus
-    print(
-        f"{label} on {session.workload.name!r} "
-        f"({device_n_rus} RUs @ {session.device.reconfig_latency} us):"
-    )
+    # Hardware overrides on top of the session device: --controllers (when
+    # the scenario factory did not already consume it) and --latency-model.
+    model = session.device
+    factory_params = scenario_info(args.scenario).parameters
+    if args.controllers is not None and "controllers" not in factory_params:
+        model = model.with_controllers(args.controllers)
+    if args.latency_model is not None:
+        model = model.with_latency_model(parse_latency_model(args.latency_model))
+    device_override = model if model != session.device else None
+    result = session.run(spec, n_rus=n_rus, device=device_override)
+    if n_rus is not None:
+        model = model.with_n_rus(n_rus)
+    print(f"{label} on {session.workload.name!r} ({model.describe()}):")
     for key, value in result.summary().items():
         print(f"  {key:>24}: {value}")
     if args.trace_out:
@@ -381,6 +432,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    for flag, value in (
+        ("--device", args.device),
+        ("--latency-model", args.latency_model),
+        ("--controllers", args.controllers),
+    ):
+        if value is not None and command != "run":
+            print(
+                f"error: {flag} is only supported by the 'run' command",
+                file=sys.stderr,
+            )
+            return 2
 
     if command == "fig1":
         from repro.core.dynamic_list import replay_fig1
@@ -428,12 +490,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.util.tables import TextTable
 
         table = TextTable(
-            ["scenario", "parameters", "description"],
+            ["scenario", "factory kwargs (defaults)", "description"],
             title="Registered workload scenarios",
         )
         for name in available_scenarios():
             info = scenario_info(name)
-            table.add_row([info.name, ", ".join(info.parameters), info.description])
+            table.add_row([info.name, info.signature(), info.description])
         print(table.render())
         return 0
     if command == "table1":

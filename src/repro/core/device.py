@@ -1,4 +1,4 @@
-"""The hardware description: a device with equal reconfigurable units.
+"""The scalar hardware description: a device with equal reconfigurable units.
 
 The paper evaluates one device family — ``n`` equal reconfigurable units
 (RUs) sharing a single reconfiguration circuitry with a fixed
@@ -6,6 +6,12 @@ reconfiguration latency.  :class:`Device` bundles those two numbers, which
 the older API smeared across ``n_rus=...``/``reconfig_latency=...``
 keyword arguments, into one first-class value that the declarative
 :class:`~repro.session.Session` API passes around.
+
+Heterogeneous hardware — slots with capability/size classes,
+per-configuration latency models, multiple reconfiguration controllers —
+is described by the full :class:`~repro.hw.model.DeviceModel`;
+:meth:`Device.to_model` bridges the two (the engine consumes only the
+model, into which a ``Device`` coerces losslessly).
 """
 
 from __future__ import annotations
@@ -62,6 +68,18 @@ class Device:
     def sweep(self, ru_counts: Sequence[int]) -> Tuple["Device", ...]:
         """The device sized at each RU count (the paper's Fig. 9 x-axis)."""
         return tuple(self.with_rus(n) for n in ru_counts)
+
+    def to_model(self):
+        """The equivalent :class:`~repro.hw.model.DeviceModel`.
+
+        Homogeneous unconstrained slots, fixed latency, one controller —
+        the engine's zero-overhead fast path.
+        """
+        from repro.hw.model import DeviceModel
+
+        return DeviceModel.homogeneous(
+            self.n_rus, self.reconfig_latency, name=self.name
+        )
 
     @classmethod
     def from_workload(cls, workload) -> "Device":

@@ -49,6 +49,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from repro.exceptions import SimulationError
 from repro.graphs.task_graph import TaskGraph
+from repro.hw.model import DeviceModel, as_device_model
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.semantics import ManagerSemantics
@@ -85,7 +86,13 @@ class MobilityCalculator:
     ----------
     n_rus, reconfig_latency:
         The target device; mobility depends on both (a delay harmless on a
-        wide device can be harmful on a narrow one).
+        wide device can be harmful on a narrow one).  Legacy scalar pair —
+        mutually exclusive with ``device``.
+    device:
+        Full :class:`~repro.hw.model.DeviceModel` target: the isolation
+        schedules then honour slot compatibility, per-configuration load
+        costs and the controller pool, so mobility tables are exact for
+        heterogeneous devices too.
     semantics:
         Manager semantics used for the isolation schedules.
     policy_factory:
@@ -114,23 +121,38 @@ class MobilityCalculator:
 
     def __init__(
         self,
-        n_rus: int,
-        reconfig_latency: int,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
         policy_factory=LocalLFDPolicy,
         max_mobility: Optional[int] = None,
         search: str = "bisect",
         verify: bool = False,
         memoize_reference: bool = True,
+        device: Optional[DeviceModel] = None,
     ) -> None:
-        if n_rus < 1:
-            raise ValueError(f"n_rus must be >= 1, got {n_rus}")
-        if reconfig_latency < 0:
-            raise ValueError(f"reconfig_latency must be >= 0, got {reconfig_latency}")
+        if device is None:
+            if n_rus is None or reconfig_latency is None:
+                raise ValueError(
+                    "describe the target device with device= or the "
+                    "n_rus=/reconfig_latency= scalar pair"
+                )
+            if n_rus < 1:
+                raise ValueError(f"n_rus must be >= 1, got {n_rus}")
+            if reconfig_latency < 0:
+                raise ValueError(f"reconfig_latency must be >= 0, got {reconfig_latency}")
+            device = DeviceModel.homogeneous(n_rus, reconfig_latency)
+        else:
+            if n_rus is not None or reconfig_latency is not None:
+                raise ValueError(
+                    "pass either device= or n_rus=/reconfig_latency=, not both"
+                )
+            device = as_device_model(device)
         if search not in SEARCH_MODES:
             raise ValueError(f"search must be one of {SEARCH_MODES}, got {search!r}")
-        self.n_rus = n_rus
-        self.reconfig_latency = reconfig_latency
+        self.device = device
+        self.n_rus = device.n_rus
+        self.reconfig_latency = device.reconfig_latency
         self.semantics = semantics
         self.policy_factory = policy_factory
         self.max_mobility = max_mobility
@@ -153,12 +175,11 @@ class MobilityCalculator:
         self.simulations += 1
         manager = ExecutionManager(
             graphs=[graph],
-            n_rus=self.n_rus,
-            reconfig_latency=self.reconfig_latency,
             advisor=PolicyAdvisor(self.policy_factory()),
             semantics=self.semantics,
             forced_delays=forced_delays,
             trace="aggregate",  # only the makespan is read
+            device=self.device,
         )
         return manager.run().makespan
 
@@ -320,9 +341,10 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
         self,
         policy: ReplacementPolicy,
         graphs_by_name: Mapping[str, TaskGraph],
-        n_rus: int,
-        reconfig_latency: int,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
+        device: Optional[DeviceModel] = None,
     ) -> None:
         self.policy = policy
         self.graphs_by_name = dict(graphs_by_name)
@@ -332,6 +354,7 @@ class PurelyRuntimeMobilityAdvisor(ReplacementAdvisor):
             semantics=semantics,
             search="linear",
             memoize_reference=False,
+            device=device,
         )
         self._cacheless_decisions = 0
 

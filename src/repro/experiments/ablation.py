@@ -215,6 +215,35 @@ def run_arrival_ablation(
     ]
 
 
+def run_controller_ablation(
+    workload: Optional[Workload] = None,
+    controller_counts: Sequence[int] = (1, 2, 4),
+    cache: Optional[ArtifactCache] = None,
+) -> List[AblationRow]:
+    """A7: parallel reconfiguration controllers (the circuitry bottleneck).
+
+    The paper's device serializes every load through one circuitry; this
+    study relaxes that with
+    :meth:`~repro.hw.model.DeviceModel.with_controllers` and measures how
+    much of the residual overhead is controller *contention* rather than
+    raw load latency — the part extra circuitry can buy back.
+    """
+    session = _session(workload, cache)
+    apps = session.workload.apps
+    rows = []
+    for count in controller_counts:
+        device = session.device.with_controllers(count)
+        for spec in (PolicySpec("LRU", LRUPolicy), _local_lfd(1, skip_events=True)):
+            rows.append(
+                _row(
+                    f"{spec.label} @ {count} controller(s)",
+                    session.run(spec, device=device),
+                    apps,
+                )
+            )
+    return rows
+
+
 def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
     table = TextTable(
         ["configuration", "reuse %", "remaining ovh %", "overhead ms", "reconfigs", "skips", "energy saved %"],
@@ -240,5 +269,6 @@ def render_all_ablations(workload: Optional[Workload] = None, store=None) -> str
         render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload, cache=cache)),
         render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload, cache=cache)),
         render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload, cache=cache)),
+        render_ablation_rows("A7 — reconfiguration controllers", run_controller_ablation(workload, cache=cache)),
     ]
     return "\n\n".join(sections)

@@ -53,6 +53,7 @@ def run_policy_sweep(
     hooks: Iterable[SessionHooks] = (),
     trace: str = "full",
     store=None,
+    device=None,
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
@@ -69,7 +70,9 @@ def run_policy_sweep(
     """
     if workload is None:
         workload = paper_evaluation_workload()
-    session = Session(workload=workload, hooks=hooks, trace=trace, store=store)
+    session = Session(
+        device=device, workload=workload, hooks=hooks, trace=trace, store=store
+    )
     return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
 
 

@@ -1,0 +1,89 @@
+"""Named device presets (the hardware counterpart of workload scenarios).
+
+Each preset freezes one complete :class:`~repro.hw.model.DeviceModel` so
+experiments, benchmarks and the CLI (``repro run --device NAME``) all run
+literally the same hardware.  Presets register through :func:`device_preset`
+and are discoverable by name, mirroring the workload-scenario registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import DeviceError
+from repro.hw.latency import BitstreamLatency, FixedLatency
+from repro.hw.model import DeviceModel, RUSlot
+
+_PRESETS: Dict[str, Callable[[], DeviceModel]] = {}
+
+
+def device_preset(name: str) -> Callable[[Callable[[], DeviceModel]], Callable[[], DeviceModel]]:
+    """Decorator: register a device factory under ``name``."""
+
+    def register(factory: Callable[[], DeviceModel]) -> Callable[[], DeviceModel]:
+        if name in _PRESETS:
+            raise DeviceError(f"device preset {name!r} already registered")
+        _PRESETS[name] = factory
+        return factory
+
+    return register
+
+
+def available_device_presets() -> List[str]:
+    return sorted(_PRESETS)
+
+
+def make_device(name: str) -> DeviceModel:
+    """Instantiate a device preset by name (CLI entry point)."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device preset {name!r}; available: "
+            f"{', '.join(available_device_presets())}"
+        ) from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Built-in presets
+# ----------------------------------------------------------------------
+@device_preset("paper-4ru")
+def paper_4ru() -> DeviceModel:
+    """The paper's device: 4 equal RUs, one circuitry, fixed 4 ms."""
+    return DeviceModel.homogeneous(4, 4000, name="paper-4ru")
+
+
+@device_preset("paper-2ctrl")
+def paper_2ctrl() -> DeviceModel:
+    """Paper floorplan with two parallel reconfiguration controllers."""
+    return DeviceModel.homogeneous(4, 4000, n_controllers=2, name="paper-2ctrl")
+
+
+@device_preset("big-little-4")
+def big_little_4() -> DeviceModel:
+    """Asymmetric floorplan: 2 big (768 KiB) + 2 little (256 KiB) slots."""
+    return DeviceModel(
+        slots=(
+            RUSlot(kind="big", capacity_kb=768),
+            RUSlot(kind="big", capacity_kb=768),
+            RUSlot(kind="little", capacity_kb=256),
+            RUSlot(kind="little", capacity_kb=256),
+        ),
+        latency_model=FixedLatency(4000),
+        name="big-little-4",
+    )
+
+
+@device_preset("sized-4ru")
+def sized_4ru() -> DeviceModel:
+    """4 equal RUs with bitstream-size-proportional load latency.
+
+    8 µs/KiB puts the default 512 KiB bitstream at 4096 µs — right next
+    to the paper's fixed 4 ms, so results are comparable regimes.
+    """
+    return DeviceModel(
+        slots=tuple(RUSlot() for _ in range(4)),
+        latency_model=BitstreamLatency(us_per_kb=8),
+        name="sized-4ru",
+    )

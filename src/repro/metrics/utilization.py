@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.graphs.task_graph import TaskGraph
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, require_full_trace as _require_full_trace
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,7 @@ class UtilizationReport:
 
 def utilization(trace: Trace) -> UtilizationReport:
     """Fraction of the makespan each RU spends executing / reconfiguring."""
+    _require_full_trace(trace, "utilization")
     makespan = trace.makespan
     exec_u: Dict[int, float] = {}
     rec_u: Dict[int, float] = {}
@@ -73,6 +74,7 @@ class AppLatencyStats:
 
 def app_latency_stats(trace: Trace, graphs: Sequence[TaskGraph]) -> AppLatencyStats:
     """Turnaround statistics per application instance."""
+    _require_full_trace(trace, "app_latency_stats")
     if not trace.app_completion_times:
         return AppLatencyStats.empty()
     turnarounds: List[int] = []

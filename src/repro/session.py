@@ -59,6 +59,7 @@ from repro.artifacts.schema import (
 from repro.artifacts.store import ArtifactStore
 from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
+from repro.hw.model import DeviceModel, as_device_model
 from repro.core.policy_spec import PolicySpec
 from repro.exceptions import ExperimentError
 from repro.graphs.task_graph import TaskGraph
@@ -130,11 +131,38 @@ class ArtifactCache:
 
     def __init__(self, store: Optional[ArtifactStore] = None) -> None:
         self.store = store
-        self._ideal: Dict[Tuple[str, int, str, str], int] = {}
-        self._mobility: Dict[Tuple[str, int, int], MobilityTables] = {}
-        self._calculators: Dict[Tuple[int, int], MobilityCalculator] = {}
+        self._ideal: Dict[Tuple, int] = {}
+        self._mobility: Dict[Tuple, MobilityTables] = {}
+        self._calculators: Dict[Tuple, MobilityCalculator] = {}
         self.ideal_stats = CacheStats()
         self.mobility_stats = CacheStats()
+
+    @staticmethod
+    def _device_memory_key(device: Optional[DeviceModel]) -> Optional[str]:
+        """In-memory key suffix for a device; ``None`` on the paper path
+        so scalar-device entries keep their historical keys."""
+        from repro.artifacts.keys import device_fingerprint
+
+        fp = device_fingerprint(device)
+        if fp is None:
+            return None
+        import json
+
+        return json.dumps(fp, sort_keys=True)
+
+    @staticmethod
+    def _ideal_device_memory_key(device: Optional[DeviceModel]) -> Optional[str]:
+        """Reduced device identity for ideal-makespan entries.
+
+        Mirrors :func:`~repro.artifacts.keys.ideal_key`: only a
+        mixed-capacity floorplan constrains a zero-latency schedule, so
+        everything else collapses to the legacy (``None``) identity.
+        """
+        if device is None or len({s.capacity_kb for s in device.slots}) <= 1:
+            return None
+        import json
+
+        return json.dumps([[s.kind, s.capacity_kb] for s in device.slots])
 
     def _store_put(self, kind: str, key: str, entry) -> None:
         """Publish best-effort: the value is already computed, so a disk
@@ -162,15 +190,24 @@ class ArtifactCache:
             "mobility": self.mobility_stats.as_dict(),
         }
 
-    def _calculator(self, n_rus: int, reconfig_latency: int) -> MobilityCalculator:
+    def _calculator(
+        self,
+        n_rus: int,
+        reconfig_latency: int,
+        device: Optional[DeviceModel] = None,
+    ) -> MobilityCalculator:
         """One calculator per device sizing, reused across compute_tables
         calls so reference schedules stay memoized."""
-        key = (n_rus, reconfig_latency)
+        key = (n_rus, reconfig_latency, self._device_memory_key(device))
         calc = self._calculators.get(key)
         if calc is None:
-            calc = self._calculators[key] = MobilityCalculator(
-                n_rus=n_rus, reconfig_latency=reconfig_latency
-            )
+            if key[2] is None:
+                calc = MobilityCalculator(
+                    n_rus=n_rus, reconfig_latency=reconfig_latency
+                )
+            else:
+                calc = MobilityCalculator(device=device)
+            self._calculators[key] = calc
         return calc
 
     def ideal_makespan_us(
@@ -180,40 +217,54 @@ class ArtifactCache:
         n_rus: int,
         arrival_times: Optional[Sequence[int]] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
+        device: Optional[DeviceModel] = None,
     ) -> int:
+        if device is not None and n_rus != device.n_rus:
+            raise ExperimentError(
+                f"ideal_makespan_us: n_rus={n_rus} contradicts the device "
+                f"model's {device.n_rus} RUs"
+            )
+        # The memory key mirrors ideal_key's reduced device identity: only
+        # a genuinely mixed-capacity floorplan can shape a zero-latency
+        # makespan, so devices differing in latency model or controller
+        # count share one entry (and one computation).
+        device_key = self._ideal_device_memory_key(device)
         key = (
             content_key,
             n_rus,
             arrival_fingerprint(arrival_times),
             ideal_semantics_fingerprint(semantics),
+            device_key,
         )
         if key in self._ideal:
             self.ideal_stats.hits += 1
             return self._ideal[key]
         self.ideal_stats.misses += 1
-        disk_key = ideal_key(content_key, n_rus, arrival_times, semantics)
+        disk_key = ideal_key(content_key, n_rus, arrival_times, semantics, device=device)
         if self.store is not None:
             stored = self.store.load("ideal", disk_key, decode_ideal)
             if stored is not None:
                 self.ideal_stats.disk_hits += 1
                 self._ideal[key] = stored
                 return stored
-        value = ideal_makespan(apps, n_rus, arrival_times=arrival_times, semantics=semantics)
+        if device_key is None:
+            value = ideal_makespan(
+                apps, n_rus, arrival_times=arrival_times, semantics=semantics
+            )
+        else:
+            value = ideal_makespan(
+                apps, arrival_times=arrival_times, semantics=semantics, device=device
+            )
         self._ideal[key] = value
         if self.store is not None:
-            self._store_put(
-                "ideal",
-                disk_key,
-                encode_ideal(
-                    disk_key,
-                    value,
-                    meta={
-                        "n_rus": n_rus,
-                        "arrivals": arrival_fingerprint(arrival_times),
-                        "content_key": content_key,
-                    },
-                ),
-            )
+            meta = {
+                "n_rus": n_rus,
+                "arrivals": arrival_fingerprint(arrival_times),
+                "content_key": content_key,
+            }
+            if device_key is not None:
+                meta["device"] = device.fingerprint()
+            self._store_put("ideal", disk_key, encode_ideal(disk_key, value, meta=meta))
         return value
 
     def mobility_tables(
@@ -222,8 +273,10 @@ class ArtifactCache:
         distinct_graphs: Sequence[TaskGraph],
         n_rus: int,
         reconfig_latency: int,
+        device: Optional[DeviceModel] = None,
     ) -> MobilityTables:
-        key = (content_key, n_rus, reconfig_latency)
+        device_key = self._device_memory_key(device)
+        key = (content_key, n_rus, reconfig_latency, device_key)
         if key in self._mobility:
             self.mobility_stats.hits += 1
             return self._mobility[key]
@@ -232,27 +285,28 @@ class ArtifactCache:
             # Disk entries key on the graph catalog, not the sequence:
             # every workload over the same applications shares them.
             catalog_key = graphs_content_key(distinct_graphs)
-            disk_key = mobility_key(catalog_key, n_rus, reconfig_latency)
+            disk_key = mobility_key(catalog_key, n_rus, reconfig_latency, device=device)
             stored = self.store.load("mobility", disk_key, decode_mobility_tables)
             if stored is not None:
                 self.mobility_stats.disk_hits += 1
                 self._mobility[key] = stored
                 return stored
-        tables = self._calculator(n_rus, reconfig_latency).compute_tables(distinct_graphs)
+        tables = self._calculator(n_rus, reconfig_latency, device).compute_tables(
+            distinct_graphs
+        )
         self._mobility[key] = tables
         if self.store is not None:
+            meta = {
+                "n_rus": n_rus,
+                "reconfig_latency": reconfig_latency,
+                "graphs": sorted(g.name for g in distinct_graphs),
+            }
+            if device_key is not None:
+                meta["device"] = device.fingerprint()
             self._store_put(
                 "mobility",
                 disk_key,
-                encode_mobility_tables(
-                    disk_key,
-                    tables,
-                    meta={
-                        "n_rus": n_rus,
-                        "reconfig_latency": reconfig_latency,
-                        "graphs": sorted(g.name for g in distinct_graphs),
-                    },
-                ),
+                encode_mobility_tables(disk_key, tables, meta=meta),
             )
         return tables
 
@@ -282,14 +336,22 @@ class ArtifactCache:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SweepCell:
-    """One cell of a sweep/grid: which spec on which device sizing."""
+    """One cell of a sweep/grid: which spec on which device sizing.
+
+    ``device`` carries the full hardware model when the cell runs on one;
+    ``None`` means the homogeneous device implied by the scalar pair
+    (the historical behaviour, byte-identical artifacts and all).
+    """
 
     spec: PolicySpec
     n_rus: int
     reconfig_latency: int
+    device: Optional[DeviceModel] = None
 
     @property
     def label(self) -> str:
+        if self.device is not None and not self.device.is_paper_path():
+            return f"{self.spec.label} @ {self.device.label}"
         return f"{self.spec.label} @ {self.n_rus} RUs"
 
 
@@ -333,6 +395,16 @@ class GridCellRecord:
     record: PolicyRunRecord
 
 
+@dataclass(frozen=True)
+class DeviceCellRecord:
+    """One device-sweep measurement: a spec on one explicit hardware model."""
+
+    spec_label: str
+    device_label: str
+    device: DeviceModel
+    record: PolicyRunRecord
+
+
 # ----------------------------------------------------------------------
 # Process-pool worker (module level so it pickles under spawn too)
 # ----------------------------------------------------------------------
@@ -344,6 +416,13 @@ def _init_worker(apps: Tuple[TaskGraph, ...]) -> None:
     _WORKER_APPS = apps
 
 
+def _hardware_kwargs(cell: "SweepCell") -> Dict[str, object]:
+    """The ``run_simulation`` hardware arguments one cell implies."""
+    if cell.device is not None:
+        return {"device": cell.device}
+    return {"n_rus": cell.n_rus, "reconfig_latency": cell.reconfig_latency}
+
+
 def _run_cell_in_worker(
     spec: PolicySpec,
     n_rus: int,
@@ -351,16 +430,21 @@ def _run_cell_in_worker(
     mobility: Optional[MobilityTables],
     ideal_us: int,
     trace: TraceMode = "full",
+    device: Optional[DeviceModel] = None,
 ) -> PolicyRunRecord:
+    hardware: Dict[str, object] = (
+        {"device": device}
+        if device is not None
+        else {"n_rus": n_rus, "reconfig_latency": reconfig_latency}
+    )
     result = run_simulation(
         _WORKER_APPS,
-        n_rus=n_rus,
-        reconfig_latency=reconfig_latency,
         advisor=spec.make_advisor(),
         semantics=spec.make_semantics(),
         mobility_tables=mobility,
         ideal_makespan_us=ideal_us,
         trace=trace,
+        **hardware,
     )
     return PolicyRunRecord.from_result(spec.label, n_rus, result)
 
@@ -374,9 +458,12 @@ class Session:
     Parameters
     ----------
     device:
-        The hardware description.  Defaults to the device implied by the
-        workload (``Workload`` carries ``n_rus``/``reconfig_latency`` for
-        self-contained scenarios).
+        The hardware description — a scalar :class:`Device` or a full
+        :class:`~repro.hw.model.DeviceModel` (heterogeneous slots,
+        per-configuration latencies, multiple reconfiguration
+        controllers).  Defaults to the model a device-parameterised
+        scenario attached to its workload, else the homogeneous device
+        implied by the workload scalars.
     workload:
         A :class:`Workload`, or the name of a registered scenario
         (resolved through :func:`repro.workloads.scenarios.make_scenario`;
@@ -402,7 +489,7 @@ class Session:
 
     def __init__(
         self,
-        device: Optional[Device] = None,
+        device: Union[Device, DeviceModel, None] = None,
         workload: Union[Workload, str, None] = None,
         *,
         hooks: Iterable[SessionHooks] = (),
@@ -423,7 +510,16 @@ class Session:
                 "is given as a scenario name"
             )
         self.workload = workload
-        self.device = device or Device.from_workload(workload)
+        # Hardware resolution order: explicit argument, then the model a
+        # device-parameterised scenario attached to its workload, then the
+        # homogeneous device implied by the workload scalars.  The session
+        # always holds a full DeviceModel (a scalar Device coerces).
+        if device is not None:
+            self.device = as_device_model(device)
+        elif workload.device is not None:
+            self.device = workload.device
+        else:
+            self.device = Device.from_workload(workload).to_model()
         if store is not None and cache is not None:
             raise ExperimentError(
                 "pass either cache= or store=, not both (use "
@@ -458,43 +554,79 @@ class Session:
             )
         return mode
 
+    def _resolve_device(
+        self,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
+        device: Union[Device, DeviceModel, None] = None,
+    ) -> Tuple[int, int, Optional[DeviceModel]]:
+        """Apply per-run hardware overrides to the session device.
+
+        Returns ``(n_rus, reconfig_latency, model_or_None)`` — the model
+        is ``None`` on the homogeneous single-controller fast path, so
+        scalar cells keep their historical artifacts and labels.
+        Resizing a heterogeneous floorplan by RU count raises
+        (:meth:`~repro.hw.model.DeviceModel.with_n_rus`); sweep over
+        explicit models with :meth:`device_sweep` instead.
+        """
+        model = as_device_model(device) if device is not None else self.device
+        if n_rus is not None and n_rus != model.n_rus:
+            model = model.with_n_rus(n_rus)
+        if reconfig_latency is not None and reconfig_latency != model.reconfig_latency:
+            from repro.hw.latency import FixedLatency
+
+            model = model.with_latency_model(FixedLatency(reconfig_latency))
+        return (
+            model.n_rus,
+            model.reconfig_latency,
+            None if model.is_paper_path() else model,
+        )
+
     # -- design-time artifacts ------------------------------------------
     def ideal_makespan_us(
         self,
         n_rus: Optional[int] = None,
         arrival_times: Optional[Sequence[int]] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
+        device: Optional[DeviceModel] = None,
     ) -> int:
         """Cached zero-latency ideal for this workload at ``n_rus``.
 
         The ideal honours the same arrival times (and manager semantics)
         as the measured run, and is cached per arrival pattern — idle
         waiting for a late application is not reconfiguration overhead.
+        Heterogeneous devices key (and compute) their own baselines: slot
+        compatibility shapes even a zero-latency schedule.
         """
         return self.cache.ideal_makespan_us(
             self._content_key,
             self._apps,
-            n_rus or self.device.n_rus,
+            n_rus or (device.n_rus if device is not None else self.device.n_rus),
             arrival_times=arrival_times,
             semantics=semantics,
+            device=device,
         )
 
     def mobility_tables(
-        self, n_rus: Optional[int] = None, reconfig_latency: Optional[int] = None
+        self,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
+        device: Optional[DeviceModel] = None,
     ) -> MobilityTables:
         """Cached design-time mobility tables for this workload's graphs."""
         return self.cache.mobility_tables(
             self._content_key,
             self.workload.distinct_graphs(),
-            n_rus or self.device.n_rus,
+            n_rus or (device.n_rus if device is not None else self.device.n_rus),
             self.device.reconfig_latency if reconfig_latency is None else reconfig_latency,
+            device=device,
         )
 
     def _cell_artifacts(
         self, cell: SweepCell, arrival_times: Optional[Sequence[int]] = None
     ):
         mobility = (
-            self.mobility_tables(cell.n_rus, cell.reconfig_latency)
+            self.mobility_tables(cell.n_rus, cell.reconfig_latency, device=cell.device)
             if cell.spec.skip_events
             else None
         )
@@ -502,6 +634,7 @@ class Session:
             cell.n_rus,
             arrival_times=arrival_times,
             semantics=cell.spec.make_semantics(),
+            device=cell.device,
         )
         return mobility, ideal
 
@@ -513,31 +646,33 @@ class Session:
         reconfig_latency: Optional[int] = None,
         arrival_times: Optional[Sequence[int]] = None,
         trace: Optional[TraceMode] = None,
+        device: Union[Device, DeviceModel, None] = None,
     ) -> SimulationResult:
         """Execute one spec; returns the full :class:`SimulationResult`.
 
-        ``n_rus``/``reconfig_latency`` override the session device for this
-        run only.  With ``arrival_times`` the zero-latency ideal is
-        computed under the same arrivals (idle waiting must not be
-        misread as reconfiguration overhead) and cached per arrival
-        pattern — repeated runs over the same arrivals, and any attached
-        artifact store, reuse it.  ``trace`` overrides the session's trace
-        mode for this run; observers registered through ``hooks`` may
-        attach extra sinks via :meth:`SessionHooks.trace_sinks`.
+        ``n_rus``/``reconfig_latency`` (or a full ``device`` model)
+        override the session device for this run only.  With
+        ``arrival_times`` the zero-latency ideal is computed under the
+        same arrivals (idle waiting must not be misread as
+        reconfiguration overhead) and cached per arrival pattern —
+        repeated runs over the same arrivals, and any attached artifact
+        store, reuse it.  ``trace`` overrides the session's trace mode
+        for this run; observers registered through ``hooks`` may attach
+        extra sinks via :meth:`SessionHooks.trace_sinks`.
         """
+        cell_rus, cell_latency, cell_device = self._resolve_device(
+            n_rus, reconfig_latency, device
+        )
         cell = SweepCell(
             spec=spec,
-            n_rus=n_rus or self.device.n_rus,
-            reconfig_latency=(
-                self.device.reconfig_latency if reconfig_latency is None else reconfig_latency
-            ),
+            n_rus=cell_rus,
+            reconfig_latency=cell_latency,
+            device=cell_device,
         )
         self._emit("on_run_start", cell)
         mobility, ideal = self._cell_artifacts(cell, arrival_times=arrival_times)
         result = run_simulation(
             self._apps,
-            n_rus=cell.n_rus,
-            reconfig_latency=cell.reconfig_latency,
             advisor=spec.make_advisor(),
             semantics=spec.make_semantics(),
             mobility_tables=mobility,
@@ -545,6 +680,7 @@ class Session:
             ideal_makespan_us=ideal,
             trace=self.trace_mode if trace is None else trace,
             extra_sinks=self._hook_sinks(cell),
+            **_hardware_kwargs(cell),
         )
         self._emit(
             "on_run_end", cell, PolicyRunRecord.from_result(spec.label, cell.n_rus, result)
@@ -579,14 +715,64 @@ class Session:
             raise ExperimentError("sweep requires at least one PolicySpec")
         ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
         cells = [
-            SweepCell(spec=spec, n_rus=n, reconfig_latency=self.device.reconfig_latency)
-            for n in ru_counts
+            SweepCell(
+                spec=spec,
+                n_rus=rus,
+                reconfig_latency=latency,
+                device=model,
+            )
+            for rus, latency, model in (self._resolve_device(n) for n in ru_counts)
             for spec in specs
         ]
         sweep = SweepResult(title=title, ru_counts=ru_counts)
         for record in self._run_cells(cells, parallel, trace):
             sweep.add(record)
         return sweep
+
+    def device_sweep(
+        self,
+        specs: Sequence[PolicySpec],
+        devices: Sequence[Union[Device, DeviceModel]],
+        parallel: int = 1,
+        trace: Optional[TraceMode] = None,
+    ) -> List["DeviceCellRecord"]:
+        """Run every ``(spec, device)`` cell over explicit hardware models.
+
+        This is the heterogeneous-hardware counterpart of :meth:`sweep`:
+        the x-axis is a list of :class:`~repro.hw.model.DeviceModel`
+        values (different floorplans, latency models or controller
+        counts) instead of an RU count.  Design-time artifacts are cached
+        per device fingerprint, and ``parallel=N`` fans the cells out
+        exactly like :meth:`sweep`.
+        """
+        if not specs:
+            raise ExperimentError("device_sweep requires at least one PolicySpec")
+        if not devices:
+            raise ExperimentError("device_sweep requires at least one device")
+        models = [as_device_model(d) for d in devices]
+        cells = [
+            SweepCell(
+                spec=spec,
+                n_rus=model.n_rus,
+                reconfig_latency=model.reconfig_latency,
+                device=None if model.is_paper_path() else model,
+            )
+            for model in models
+            for spec in specs
+        ]
+        records = self._run_cells(cells, parallel, trace)
+        return [
+            DeviceCellRecord(
+                spec_label=cell.spec.label,
+                device_label=model.label,
+                device=model,
+                record=record,
+            )
+            for (cell, record), model in zip(
+                zip(cells, records),
+                (m for m in models for _ in specs),
+            )
+        ]
 
     def grid(
         self,
@@ -606,9 +792,10 @@ class Session:
             else (self.device.reconfig_latency,)
         )
         cells = [
-            SweepCell(spec=spec, n_rus=n, reconfig_latency=lat)
-            for lat in latencies
-            for n in ru_counts
+            SweepCell(spec=spec, n_rus=rus, reconfig_latency=cell_lat, device=model)
+            for rus, cell_lat, model in (
+                self._resolve_device(n, lat) for lat in latencies for n in ru_counts
+            )
             for spec in specs
         ]
         records = self._run_cells(cells, parallel, trace)
@@ -672,6 +859,7 @@ class Session:
                     mobility,
                     ideal,
                     trace_mode,
+                    cell.device,
                 )
                 future_to_index[future] = i
             done_count = 0
@@ -700,13 +888,12 @@ def _run_cell_local(
 ) -> PolicyRunRecord:
     result = run_simulation(
         apps,
-        n_rus=cell.n_rus,
-        reconfig_latency=cell.reconfig_latency,
         advisor=cell.spec.make_advisor(),
         semantics=cell.spec.make_semantics(),
         mobility_tables=mobility,
         ideal_makespan_us=ideal_us,
         trace=trace,
         extra_sinks=extra_sinks,
+        **_hardware_kwargs(cell),
     )
     return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)

@@ -2,15 +2,16 @@
 
 Renders per-RU timelines like the paper's Figs. 2/3/7 schedules:
 reconfigurations (``#`` cells), executions (task label cells) and reused
-executions (``*`` prefix).  Used by the examples and by humans debugging
-the calibration of the motivational figures.
+executions (``*`` prefix), plus one load lane per reconfiguration
+controller on multi-controller devices.  Used by the examples and by
+humans debugging the calibration of the motivational figures.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, require_full_trace as _require_full_trace
 
 
 def render_gantt(
@@ -20,6 +21,11 @@ def render_gantt(
     label_fn=None,
 ) -> str:
     """Render ``trace`` as an ASCII Gantt chart.
+
+    One lane per RU; on devices with more than one reconfiguration
+    controller, one additional ``C<n>`` lane per controller showing the
+    loads that circuitry performed (the contention the multi-controller
+    hardware is buying back).
 
     Parameters
     ----------
@@ -31,6 +37,7 @@ def render_gantt(
         Optional ``ConfigId -> str`` single-char-ish labeller; defaults to
         the node id.
     """
+    _require_full_trace(trace, "render_gantt")
     if cell_us <= 0:
         raise ValueError(f"cell_us must be > 0, got {cell_us}")
     makespan = trace.makespan
@@ -57,7 +64,19 @@ def render_gantt(
             for j, c in enumerate(span):
                 cells[c] = (mark + label)[j % len(mark + label)] if mark + label else "?"
         lines.append(f"RU{ru}: |{''.join(cells)}|")
+    if trace.n_controllers > 1:
+        for controller in range(trace.n_controllers):
+            cells = [" "] * n_cells
+            for rec in trace.reconfigs_on_controller(controller):
+                span = range(
+                    rec.start // cell_us, min(n_cells, _ceil_div(rec.end, cell_us))
+                )
+                for c in span:
+                    cells[c] = "#"
+            lines.append(f"C{controller}:  |{''.join(cells)}|")
     legend = "legend: '#'=reconfiguration, digits=executing task, '*'=reused"
+    if trace.n_controllers > 1:
+        legend += f"; C lanes = loads per controller ({trace.n_controllers})"
     lines.append(legend)
     return "\n".join(lines)
 
@@ -68,6 +87,7 @@ def _ceil_div(a: int, b: int) -> int:
 
 def render_timeline_events(trace: Trace, limit: Optional[int] = None) -> str:
     """Chronological textual event log of a trace (for debugging)."""
+    _require_full_trace(trace, "render_timeline_events")
     events: List[Tuple[int, int, str]] = []
     for rec in trace.reconfigs:
         events.append(

@@ -1,10 +1,14 @@
 """The event-triggered task-graph execution manager (paper §IV, Fig. 4).
 
 This is the substrate the paper builds on (their ref [9]): it manages the
-execution of a sequence of applications (task graphs) on a device with
-``n_rus`` equal reconfigurable units and one shared reconfiguration
-circuitry, applying ASAP configuration prefetch, and it invokes the
-replacement module every time a new task must be loaded.
+execution of a sequence of applications (task graphs) on a
+:class:`~repro.hw.model.DeviceModel` — RU slots with capability/size
+classes, a per-configuration latency model, and a pool of ``n_controllers``
+reconfiguration circuitries — applying ASAP configuration prefetch, and it
+invokes the replacement module every time a new task must be loaded.  The
+paper's device (``n`` equal RUs, one circuitry, one fixed latency) is the
+homogeneous special case, still constructible through the legacy
+``n_rus=``/``reconfig_latency=`` keyword pair.
 
 Model summary (see DESIGN.md §3 for the resolved ambiguities S1-S6):
 
@@ -32,12 +36,14 @@ Model summary (see DESIGN.md §3 for the resolved ambiguities S1-S6):
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import PolicyError, SimulationError
 from repro.graphs.task import ConfigId, TaskInstance
 from repro.graphs.task_graph import TaskGraph
+from repro.hw.model import DeviceModel, as_device_model
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.ru import RU, RUState
@@ -113,9 +119,21 @@ class ExecutionManager:
     graphs:
         The application sequence, in execution order.
     n_rus:
-        Number of reconfigurable units (the paper sweeps 4..10).
+        Number of reconfigurable units (the paper sweeps 4..10).  Legacy
+        scalar pair with ``reconfig_latency`` — together they describe the
+        homogeneous single-controller device.  Mutually exclusive with
+        ``device``.
     reconfig_latency:
         Latency of one reconfiguration in µs (paper examples: 4000).
+    device:
+        A :class:`~repro.hw.model.DeviceModel` (or anything
+        :func:`~repro.hw.model.as_device_model` accepts): heterogeneous
+        slots, per-configuration latency model, ``n_controllers``
+        parallel reconfiguration circuitries.  Every configuration of the
+        workload must fit at least one slot (checked at construction).
+        Controller arbitration is deterministic: loads dispatch in
+        reconfiguration-sequence order onto the lowest-numbered free
+        controller.
     advisor:
         The replacement module.  See :mod:`repro.core` for the paper's
         policies; :class:`repro.sim.interface.ReplacementAdvisor` for the
@@ -149,22 +167,39 @@ class ExecutionManager:
     def __init__(
         self,
         graphs: Sequence[TaskGraph],
-        n_rus: int,
-        reconfig_latency: int,
-        advisor: ReplacementAdvisor,
+        n_rus: Optional[int] = None,
+        reconfig_latency: Optional[int] = None,
+        advisor: Optional[ReplacementAdvisor] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
         mobility_tables: Optional[MobilityTables] = None,
         arrival_times: Optional[Sequence[int]] = None,
         forced_delays: Optional[Mapping[Tuple[int, int], int]] = None,
         trace: TraceMode = "full",
         extra_sinks: Sequence[TraceSink] = (),
+        device: Optional[DeviceModel] = None,
     ) -> None:
-        if n_rus < 1:
-            raise SimulationError(f"n_rus must be >= 1, got {n_rus}")
-        if reconfig_latency < 0:
-            raise SimulationError(
-                f"reconfig_latency must be >= 0, got {reconfig_latency}"
-            )
+        if advisor is None:
+            raise SimulationError("an advisor (replacement module) is required")
+        if device is None:
+            if n_rus is None or reconfig_latency is None:
+                raise SimulationError(
+                    "describe the hardware with device=DeviceModel(...) or "
+                    "the legacy n_rus=/reconfig_latency= scalar pair"
+                )
+            if n_rus < 1:
+                raise SimulationError(f"n_rus must be >= 1, got {n_rus}")
+            if reconfig_latency < 0:
+                raise SimulationError(
+                    f"reconfig_latency must be >= 0, got {reconfig_latency}"
+                )
+            device = DeviceModel.homogeneous(n_rus, reconfig_latency)
+        else:
+            if n_rus is not None or reconfig_latency is not None:
+                raise SimulationError(
+                    "pass either device= or the n_rus=/reconfig_latency= "
+                    "scalar pair, not both"
+                )
+            device = as_device_model(device)
         if not graphs:
             raise SimulationError("application sequence is empty")
         if arrival_times is not None and len(arrival_times) != len(graphs):
@@ -172,23 +207,33 @@ class ExecutionManager:
                 "arrival_times must match the number of applications"
             )
         max_par = max(_max_concurrency(g) for g in graphs)
-        if max_par > n_rus:
+        if max_par > device.n_rus:
             raise SimulationError(
                 f"an application needs {max_par} concurrent RUs but the "
-                f"device has only {n_rus}; the barrier model cannot schedule it"
+                f"device has only {device.n_rus}; the barrier model cannot schedule it"
             )
 
         self.semantics = semantics
-        self.n_rus = n_rus
-        self.reconfig_latency = reconfig_latency
+        self.device = device
+        self.n_rus = device.n_rus
+        self.reconfig_latency = device.reconfig_latency
         self.advisor = advisor
         self.mobility_tables = mobility_tables or {}
         self._arrivals = list(arrival_times) if arrival_times else [0] * len(graphs)
 
+        # Fast-path switches: on the paper's homogeneous device neither a
+        # per-load bitstream lookup nor slot-compatibility filtering runs.
+        self._fixed_latency = device.fixed_latency_us
+        self._uniform_slots = device.has_uniform_slots
+        if not self._uniform_slots:
+            self._check_slot_coverage(graphs, device)
+
         self.apps: List[_AppRun] = [
             _AppRun(i, g, self._arrivals[i]) for i, g in enumerate(graphs)
         ]
-        self.rus: List[RU] = [RU(i) for i in range(n_rus)]
+        self.rus: List[RU] = [
+            RU(i, slot=device.slots[i]) for i in range(device.n_rus)
+        ]
         self.queue = EventQueue()
         self.clock = 0
         self._trace_primary, self._sinks = resolve_trace_mode(trace, extra_sinks)
@@ -197,8 +242,12 @@ class ExecutionManager:
         self._dispatch_app = 0       # index into self.apps
         self._dispatch_pos = 0       # index into that app's rec_order
         self._current_app = 0        # application currently executing
-        self._reconfig_busy_until = 0
-        self._reconfiguring = False
+        #: Free reconfiguration controllers, kept sorted so arbitration is
+        #: deterministic (lowest-numbered free controller loads next).
+        self._free_controllers: List[int] = list(range(device.n_controllers))
+        #: True only while recovering from an idle-skip stall (see
+        #: :meth:`_break_idle_skip_stall`).
+        self._idle_stall = False
         #: Events skipped so far per application instance (Fig. 8 counter).
         self.skipped_events: Dict[int, int] = {}
         #: Where each loaded config lives: config -> RU index.
@@ -207,6 +256,30 @@ class ExecutionManager:
         self._forced_delays: Dict[Tuple[int, int], int] = (
             dict(forced_delays) if forced_delays else {}
         )
+
+    @staticmethod
+    def _check_slot_coverage(
+        graphs: Sequence[TaskGraph], device: DeviceModel
+    ) -> None:
+        """Every configuration must fit at least one slot of the floorplan.
+
+        A configuration too large for every slot can never load, which
+        would surface much later as an opaque dispatch deadlock; fail at
+        construction with the offending task instead.
+        """
+        seen: set = set()
+        for graph in graphs:
+            if graph.name in seen:
+                continue
+            seen.add(graph.name)
+            for nid in graph.node_ids:
+                kb = graph.task(nid).bitstream_kb
+                if not device.compatible_slot_indices(kb):
+                    raise SimulationError(
+                        f"configuration {graph.name}.{nid} needs a "
+                        f"{kb} KiB slot but no slot of device "
+                        f"{device.label!r} can hold it"
+                    )
 
     # ------------------------------------------------------------------
     # Public API
@@ -240,6 +313,7 @@ class ExecutionManager:
                 n_rus=self.n_rus,
                 reconfig_latency=self.reconfig_latency,
                 n_apps=len(self.apps),
+                n_controllers=self.device.n_controllers,
             )
         )
         self.advisor.reset()
@@ -254,31 +328,57 @@ class ExecutionManager:
 
         guard = 0
         guard_limit = 1000 * sum(len(a.graph) for a in self.apps) + 10_000
-        while self.queue:
-            event = self.queue.pop()
-            if event.time < self.clock:
-                raise SimulationError("event queue went backwards in time")
-            self.clock = event.time
-            if event.kind is EventKind.END_OF_EXECUTION:
-                self._handle_end_of_execution(*event.payload)
-            elif event.kind is EventKind.END_OF_RECONFIGURATION:
-                self._handle_end_of_reconfiguration(*event.payload)
-            elif event.kind is EventKind.APP_ARRIVAL:
-                self._dispatch_and_start()
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {event.kind!r}")
-            guard += 1
-            if guard > guard_limit:  # pragma: no cover - defensive
-                raise SimulationError("simulation exceeded event budget (livelock?)")
+        while True:
+            while self.queue:
+                event = self.queue.pop()
+                if event.time < self.clock:
+                    raise SimulationError("event queue went backwards in time")
+                self.clock = event.time
+                if event.kind is EventKind.END_OF_EXECUTION:
+                    self._handle_end_of_execution(*event.payload)
+                elif event.kind is EventKind.END_OF_RECONFIGURATION:
+                    self._handle_end_of_reconfiguration(*event.payload)
+                elif event.kind is EventKind.APP_ARRIVAL:
+                    self._dispatch_and_start()
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {event.kind!r}")
+                guard += 1
+                if guard > guard_limit:  # pragma: no cover - defensive
+                    raise SimulationError("simulation exceeded event budget (livelock?)")
 
-        unfinished = [a.index for a in self.apps if not a.complete()]
-        if unfinished:
-            raise SimulationError(
-                f"simulation ended with unfinished applications {unfinished}; "
-                "this indicates a dispatch deadlock"
-            )
+            if all(a.complete() for a in self.apps):
+                break
+            # The queue drained with work remaining.  The one legal cause
+            # is a skip-event taken while nothing was in flight: "wait for
+            # the next event" never fires when no event is pending.  That
+            # is unreachable on the paper's single-controller device (a
+            # replacement decision there implies a busy circuitry or a
+            # running execution scheduled first), but parallel controllers
+            # can drain every event before the module skips.  Consume such
+            # idle skips and retry; anything else is a genuine deadlock.
+            if not self._break_idle_skip_stall():
+                unfinished = [a.index for a in self.apps if not a.complete()]
+                raise SimulationError(
+                    f"simulation ended with unfinished applications {unfinished}; "
+                    "this indicates a dispatch deadlock"
+                )
         self._emit(RunEnd(time=self.clock))
         return self.trace
+
+    def _break_idle_skip_stall(self) -> bool:
+        """Re-run dispatch consuming skips that no event will ever revisit.
+
+        Returns ``True`` when progress was made (new events scheduled).
+        Only called when the event queue is empty with applications
+        unfinished — a state the legacy engine reported as a deadlock, so
+        recovery here cannot perturb any previously-working schedule.
+        """
+        self._idle_stall = True
+        try:
+            self._dispatch_and_start()
+        finally:
+            self._idle_stall = False
+        return bool(self.queue)
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -309,16 +409,20 @@ class ExecutionManager:
             self._activate_next_app()
         self._dispatch_and_start()
 
-    def _handle_end_of_reconfiguration(self, ru_index: int, instance: TaskInstance) -> None:
+    def _handle_end_of_reconfiguration(
+        self, ru_index: int, instance: TaskInstance, controller: int, latency: int
+    ) -> None:
         ru = self.rus[ru_index]
         ru.finish_load(self.clock)
-        self._reconfiguring = False
+        bisect.insort(self._free_controllers, controller)
         self._emit(
             ReconfigEnd(
                 time=self.clock,
                 ru=ru_index,
                 config=instance.config,
                 app_index=instance.app_index,
+                controller=controller,
+                latency=latency,
             )
         )
         self.advisor.on_load_complete(ru_index, instance.config, self.clock)
@@ -347,11 +451,12 @@ class ExecutionManager:
         """Process the reconfiguration sequence while progress is possible.
 
         Mirrors the paper's Fig. 8 replacement module, invoked repeatedly
-        (Fig. 4 lines 3/9/12) until the circuitry is busy, the sequence is
-        exhausted/stalled, or a skip-event defers the head.
+        (Fig. 4 lines 3/9/12) until every controller is busy, the sequence
+        is exhausted/stalled, or a skip-event defers the head.
         """
+        idle_skips = 0
         while True:
-            if self._reconfiguring:
+            if not self._free_controllers:
                 return
             head = self._peek_head()
             if head is None:
@@ -400,14 +505,21 @@ class ExecutionManager:
             is_future = app.index != self._current_app
             if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.ISOLATED:
                 return
-            free = self._first_free_ru()
+            kb = self._bitstream_kb(instance)
+            free = self._first_free_ru(kb)
             if free is not None:
                 self._begin_load(free, instance)
                 continue
             if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.FREE_RU_ONLY:
                 return
 
-            candidates = tuple(ru.view() for ru in self.rus if ru.is_candidate)
+            # Replacement candidates, filtered to slots the incoming
+            # bitstream fits (on uniform floorplans the filter is a no-op).
+            candidates = tuple(
+                ru.view()
+                for ru in self.rus
+                if ru.is_candidate and (self._uniform_slots or ru.fits(kb))
+            )
             if not candidates:
                 return
             ctx = self._build_context(instance, candidates)
@@ -424,6 +536,18 @@ class ExecutionManager:
                         skipped_events_after=ctx.skipped_events + 1,
                     )
                 )
+                if self._idle_stall and not self.queue:
+                    # Stall recovery (see _break_idle_skip_stall): the
+                    # skip was emitted and counted, but no future event
+                    # exists to revisit it — decide again immediately.
+                    idle_skips += 1
+                    if idle_skips > 10_000:
+                        raise SimulationError(
+                            "advisor keeps skipping on an idle device "
+                            f"(app {instance.app_index}, {instance.config}); "
+                            "a skip rule must be bounded by the mobility budget"
+                        )
+                    continue
                 return
             victim = self._validate_victim(decision, candidates)
             self._emit(
@@ -473,15 +597,15 @@ class ExecutionManager:
         )
 
     def _begin_load(self, ru: RU, instance: TaskInstance) -> None:
-        if self._reconfiguring:  # pragma: no cover - defensive
-            raise SimulationError("reconfiguration circuitry already busy")
+        if not self._free_controllers:  # pragma: no cover - defensive
+            raise SimulationError("every reconfiguration controller is busy")
         if ru.config is not None:
             self._loc.pop(ru.config, None)
         ru.begin_load(instance, self.clock)
         self._loc[instance.config] = ru.index
-        self._reconfiguring = True
-        end = self.clock + self.reconfig_latency
-        self._reconfig_busy_until = end
+        controller = self._free_controllers.pop(0)
+        latency = self._load_cost(instance)
+        end = self.clock + latency
         self._emit(
             ReconfigStart(
                 time=self.clock,
@@ -489,10 +613,15 @@ class ExecutionManager:
                 config=instance.config,
                 app_index=instance.app_index,
                 end=end,
+                controller=controller,
             )
         )
         self._advance_head()
-        self.queue.push(end, EventKind.END_OF_RECONFIGURATION, (ru.index, instance))
+        self.queue.push(
+            end,
+            EventKind.END_OF_RECONFIGURATION,
+            (ru.index, instance, controller, latency),
+        )
 
     # ------------------------------------------------------------------
     # Execution starts (Fig. 4 lines 6-7 and 15-19)
@@ -519,6 +648,7 @@ class ExecutionManager:
                         app_index=instance.app_index,
                         end=end,
                         reused=reused,
+                        load_us=self._load_cost(instance),
                     )
                 )
                 self.advisor.on_execution_start(ru.index, instance.config, self.clock)
@@ -547,11 +677,33 @@ class ExecutionManager:
         distance = app.index - self._current_app
         return distance <= self.semantics.lookahead_apps
 
-    def _first_free_ru(self) -> Optional[RU]:
+    def _first_free_ru(self, bitstream_kb: int) -> Optional[RU]:
+        """Lowest-index free RU whose slot fits the incoming bitstream."""
         for ru in self.rus:
-            if ru.is_free:
+            if ru.is_free and (self._uniform_slots or ru.fits(bitstream_kb)):
                 return ru
         return None
+
+    # ------------------------------------------------------------------
+    # Device-model lookups (short-circuited on the homogeneous fast path)
+    # ------------------------------------------------------------------
+    def _bitstream_kb(self, instance: TaskInstance) -> int:
+        """Bitstream size (KiB) of the instance's configuration.
+
+        On the homogeneous fast path (uniform slots, fixed latency) no
+        consumer reads the value, so the graph lookup is skipped.
+        """
+        if self._uniform_slots and self._fixed_latency is not None:
+            return 0
+        return self.apps[instance.app_index].graph.task(instance.node_id).bitstream_kb
+
+    def _load_cost(self, instance: TaskInstance) -> int:
+        """Reconfiguration latency of the instance's configuration (µs)."""
+        if self._fixed_latency is not None:
+            return self._fixed_latency
+        return self.device.load_latency_us(
+            instance.config, self._bitstream_kb(instance)
+        )
 
     # ------------------------------------------------------------------
     # Decision context

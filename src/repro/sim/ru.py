@@ -1,8 +1,12 @@
 """Reconfigurable Unit (RU) state machine.
 
 The paper's device is "composed of a set of equal-sized reconfigurable
-units (RUs)" [refs 7, 8].  Each RU holds at most one configuration; a
-single shared reconfiguration circuitry loads configurations one at a time.
+units (RUs)" [refs 7, 8].  Each RU holds at most one configuration; the
+device's reconfiguration controller pool loads configurations into them
+(one controller in the paper's model, possibly several under
+:class:`~repro.hw.model.DeviceModel`).  Each RU occupies one
+:class:`~repro.hw.model.RUSlot` of the floorplan — a capability/size
+class that bounds which bitstreams it can hold.
 
 RU life cycle::
 
@@ -24,6 +28,7 @@ from typing import Optional, Tuple
 
 from repro.exceptions import SimulationError
 from repro.graphs.task import ConfigId, TaskInstance
+from repro.hw.model import RUSlot
 
 
 class RUState(Enum):
@@ -42,6 +47,9 @@ class RUView:
         execution completion) — the LRU recency stamp.
     ``load_end``
         Time the current configuration finished loading (FIFO age stamp).
+    ``kind`` / ``capacity_kb``
+        The floorplan slot class this RU occupies (defaults describe the
+        paper's unconstrained equal-sized RUs).
     """
 
     index: int
@@ -49,15 +57,27 @@ class RUView:
     state: RUState
     last_use: int
     load_end: int
+    kind: str = "std"
+    capacity_kb: Optional[int] = None
 
 
 class RU:
     """Mutable runtime state of one reconfigurable unit."""
 
-    __slots__ = ("index", "state", "config", "pending", "pending_reused", "last_use", "load_end")
+    __slots__ = (
+        "index",
+        "slot",
+        "state",
+        "config",
+        "pending",
+        "pending_reused",
+        "last_use",
+        "load_end",
+    )
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, slot: Optional[RUSlot] = None) -> None:
         self.index = index
+        self.slot = slot if slot is not None else RUSlot()
         self.state = RUState.EMPTY
         self.config: Optional[ConfigId] = None
         #: Instance claimed to execute next on this RU (protection S3).
@@ -143,6 +163,10 @@ class RU:
     def is_free(self) -> bool:
         return self.state is RUState.EMPTY
 
+    def fits(self, bitstream_kb: int) -> bool:
+        """Can this RU's slot hold a bitstream of the given size?"""
+        return self.slot.fits(bitstream_kb)
+
     def view(self) -> RUView:
         return RUView(
             index=self.index,
@@ -150,6 +174,8 @@ class RU:
             state=self.state,
             last_use=self.last_use,
             load_end=self.load_end,
+            kind=self.slot.kind,
+            capacity_kb=self.slot.capacity_kb,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

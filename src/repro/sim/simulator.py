@@ -15,7 +15,9 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
+from repro.exceptions import SimulationError
 from repro.graphs.task_graph import TaskGraph
+from repro.hw.model import DeviceModel
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.semantics import ManagerSemantics
@@ -71,9 +73,18 @@ class SimulationResult:
 
         The paper's Fig. 9c normalises the measured overhead by the
         overhead the workload would suffer with no reuse and no prefetch:
-        one full latency per executed task.
+        one full load per executed task, each at its own configuration's
+        latency.  The trace accumulates exactly that sum
+        (``no_reuse_baseline_us``, from the per-execution ``load_us``
+        events), so the normalisation stays correct on devices whose
+        reconfiguration cost varies per configuration.  On fixed-latency
+        devices the sum equals the historical
+        ``n_executions * reconfig_latency`` product to the byte; traces
+        replayed from event logs predating ``load_us`` fall back to it.
         """
-        baseline = self.trace.n_executions * self.trace.reconfig_latency
+        baseline = getattr(self.trace, "no_reuse_baseline_us", 0)
+        if baseline == 0:  # pre-load_us event logs (or zero-latency runs)
+            baseline = self.trace.n_executions * self.trace.reconfig_latency
         if baseline == 0:
             return 0.0
         return 100.0 * self.overhead_us / baseline
@@ -95,17 +106,24 @@ class SimulationResult:
 
 def run_simulation(
     graphs: Sequence[TaskGraph],
-    n_rus: int,
-    reconfig_latency: int,
-    advisor: ReplacementAdvisor,
+    n_rus: Optional[int] = None,
+    reconfig_latency: Optional[int] = None,
+    advisor: Optional[ReplacementAdvisor] = None,
     semantics: ManagerSemantics = ManagerSemantics(),
     mobility_tables: Optional[MobilityTables] = None,
     arrival_times: Optional[Sequence[int]] = None,
     ideal_makespan_us: Optional[int] = None,
     trace: TraceMode = "full",
     extra_sinks: Sequence[TraceSink] = (),
+    device: Optional[DeviceModel] = None,
 ) -> SimulationResult:
     """Run the sequence and compute headline metrics (engine entry point).
+
+    The hardware is either a full :class:`~repro.hw.model.DeviceModel`
+    (``device=``: heterogeneous slots, per-configuration latencies,
+    multiple reconfiguration controllers) or the legacy
+    ``n_rus``/``reconfig_latency`` scalar pair describing the paper's
+    homogeneous single-controller device.
 
     ``ideal_makespan_us`` can be supplied to avoid recomputing the
     zero-latency baseline when sweeping policies over a fixed workload —
@@ -127,11 +145,16 @@ def run_simulation(
         arrival_times=arrival_times,
         trace=trace,
         extra_sinks=extra_sinks,
+        device=device,
     )
     trace_view = manager.run()
     if ideal_makespan_us is None:
         ideal_makespan_us = ideal_makespan(
-            graphs, n_rus, arrival_times=arrival_times, semantics=semantics
+            graphs,
+            n_rus,
+            arrival_times=arrival_times,
+            semantics=semantics,
+            device=device,
         )
     return SimulationResult(
         trace=trace_view,
@@ -181,14 +204,20 @@ def simulate(
 
 def ideal_makespan(
     graphs: Sequence[TaskGraph],
-    n_rus: int,
+    n_rus: Optional[int] = None,
     arrival_times: Optional[Sequence[int]] = None,
     semantics: ManagerSemantics = ManagerSemantics(),
+    device: Optional[DeviceModel] = None,
 ) -> int:
     """Makespan of the zero-reconfiguration-latency run on the same device.
 
     Computed by simulation with latency 0 so the result honours the exact
     same barrier, arrival and resource semantics as the measured run.
+    With a full ``device=`` model the baseline runs on
+    :meth:`~repro.hw.model.DeviceModel.zero_latency` — same floorplan
+    (slot compatibility still constrains placement) and same controller
+    pool, free loads — so heterogeneous-device overheads are measured
+    like-for-like too.
     ``arrival_times`` must match the measured run's: an application cannot
     start before it arrives even when loads are free, and an ideal that
     ignores arrivals books that idle wait as reconfiguration overhead —
@@ -201,14 +230,25 @@ def ideal_makespan(
     The run streams through the aggregate sink — only the makespan is
     needed, so no record lists are materialised.
     """
+    if device is not None:
+        ideal_device = device.zero_latency()
+        if n_rus is not None:
+            raise SimulationError(
+                "pass either device= or n_rus=, not both"
+            )
+    else:
+        if n_rus is None:
+            raise SimulationError(
+                "describe the hardware with device= or n_rus="
+            )
+        ideal_device = DeviceModel.homogeneous(n_rus, 0)
     manager = ExecutionManager(
         graphs=graphs,
-        n_rus=n_rus,
-        reconfig_latency=0,
         advisor=_FirstCandidateAdvisor(),
         semantics=semantics,
         arrival_times=arrival_times,
         trace="aggregate",
+        device=ideal_device,
     )
     return manager.run().makespan
 

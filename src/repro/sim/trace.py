@@ -15,15 +15,37 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.graphs.task import ConfigId
 
 
+def require_full_trace(trace, helper: str) -> None:
+    """Fail fast — and helpfully — when handed a counters-only view.
+
+    Record-level helpers (utilization, Gantt, timelines) cannot work on
+    the O(1) :class:`~repro.sim.tracing.AggregateTrace`; without this
+    check they died mid-computation with an opaque duck-typing
+    ``AttributeError``.
+    """
+    if not isinstance(trace, Trace):
+        raise TypeError(
+            f"{helper}() needs the full record-list Trace, got "
+            f"{type(trace).__name__}; run with trace='full' (the default) "
+            "or rebuild a Trace from a JSONL event log via "
+            "repro.sim.tracing.trace_from_jsonl()"
+        )
+
+
 @dataclass(frozen=True)
 class ReconfigRecord:
-    """One reconfiguration (bitstream load) on the shared circuitry."""
+    """One reconfiguration (bitstream load) on a reconfiguration controller.
+
+    ``controller`` is the circuitry that performed the load (always 0 on
+    the paper's single-controller device).
+    """
 
     ru: int
     config: ConfigId
     app_index: int
     start: int
     end: int
+    controller: int = 0
 
     @property
     def latency(self) -> int:
@@ -102,6 +124,13 @@ class Trace:
     skips: List[SkipRecord] = field(default_factory=list)
     executions: List[ExecRecord] = field(default_factory=list)
     app_completion_times: Dict[int, int] = field(default_factory=dict)
+    #: Reconfiguration controllers on the device (1 = the paper's model).
+    n_controllers: int = 1
+    #: Summed per-executed-task load cost (µs): what the run would pay
+    #: with no reuse and no prefetch — one full load per execution, each
+    #: at its *own* configuration's latency.  Equals
+    #: ``n_executions * reconfig_latency`` on fixed-latency devices.
+    no_reuse_baseline_us: int = 0
     #: (len(executions) when computed, value) — invalidated by appends.
     _makespan_cache: Optional[Tuple[int, int]] = field(
         default=None, init=False, repr=False, compare=False
@@ -155,6 +184,13 @@ class Trace:
     def reconfigs_on_ru(self, ru: int) -> List[ReconfigRecord]:
         return sorted(
             (r for r in self.reconfigs if r.ru == ru), key=lambda r: r.start
+        )
+
+    def reconfigs_on_controller(self, controller: int) -> List[ReconfigRecord]:
+        """Loads performed by one reconfiguration circuitry, by start time."""
+        return sorted(
+            (r for r in self.reconfigs if r.controller == controller),
+            key=lambda r: r.start,
         )
 
     def busy_time_per_ru(self) -> Dict[int, int]:

@@ -71,11 +71,18 @@ class TraceEvent:
 
 @dataclass(frozen=True)
 class RunStart(TraceEvent):
-    """The simulation is about to execute (always the first event)."""
+    """The simulation is about to execute (always the first event).
+
+    ``reconfig_latency`` is the device's *nominal* latency — exact on
+    fixed-latency devices, the reference-bitstream cost otherwise.
+    ``n_controllers`` counts the parallel reconfiguration circuitries
+    (1 = the paper's single-circuitry model).
+    """
 
     n_rus: int
     reconfig_latency: int
     n_apps: int
+    n_controllers: int = 1
 
 
 @dataclass(frozen=True)
@@ -99,25 +106,37 @@ class AppCompleted(TraceEvent):
 
 @dataclass(frozen=True)
 class ReconfigStart(TraceEvent):
-    """A bitstream load began on the shared reconfiguration circuitry.
+    """A bitstream load began on reconfiguration controller ``controller``.
 
-    ``end`` is the scheduled completion time (``time`` + latency); the
-    single-circuitry model (S5) makes it exact at emission time.
+    ``end`` is the scheduled completion time (``time`` + this load's
+    actual latency, which may be per-configuration); deterministic
+    dispatch makes it exact at emission time.
     """
 
     ru: int
     config: ConfigId
     app_index: int
     end: int
+    controller: int = 0
+
+    @property
+    def latency(self) -> int:
+        """This load's actual latency (µs)."""
+        return self.end - self.time
 
 
 @dataclass(frozen=True)
 class ReconfigEnd(TraceEvent):
-    """The reconfiguration circuitry finished loading ``config``."""
+    """Controller ``controller`` finished loading ``config`` into ``ru``.
+
+    ``latency`` is the actual duration of the completed load (µs).
+    """
 
     ru: int
     config: ConfigId
     app_index: int
+    controller: int = 0
+    latency: int = 0
 
 
 @dataclass(frozen=True)
@@ -151,13 +170,21 @@ class Skip(TraceEvent):
 
 @dataclass(frozen=True)
 class ExecStart(TraceEvent):
-    """A task execution began on ``ru``; ``end`` is its scheduled finish."""
+    """A task execution began on ``ru``; ``end`` is its scheduled finish.
+
+    ``load_us`` is the reconfiguration cost this task's configuration
+    incurs on the device — whether or not a load actually happened.  Its
+    sum over all executions is the run's *no-reuse baseline*: the
+    overhead a run with no reuse and no prefetch would pay (used by
+    :meth:`~repro.sim.simulator.SimulationResult.remaining_overhead_pct`).
+    """
 
     ru: int
     config: ConfigId
     app_index: int
     end: int
     reused: bool
+    load_us: int = 0
 
 
 @dataclass(frozen=True)
@@ -245,6 +272,7 @@ class FullTrace(TraceSink):
                     reused=event.reused,
                 )
             )
+            self.trace.no_reuse_baseline_us += event.load_us
         elif cls is ReconfigStart:
             self.trace.reconfigs.append(
                 ReconfigRecord(
@@ -253,6 +281,7 @@ class FullTrace(TraceSink):
                     app_index=event.app_index,
                     start=event.time,
                     end=event.end,
+                    controller=event.controller,
                 )
             )
         elif cls is Reuse:
@@ -288,7 +317,9 @@ class FullTrace(TraceSink):
             self.trace.app_completion_times[event.app_index] = event.time
         elif cls is RunStart:
             self._trace = Trace(
-                n_rus=event.n_rus, reconfig_latency=event.reconfig_latency
+                n_rus=event.n_rus,
+                reconfig_latency=event.reconfig_latency,
+                n_controllers=event.n_controllers,
             )
         # ReconfigEnd / ExecEnd / AppActivated / RunEnd carry no state the
         # record lists need: starts already embed their scheduled ends.
@@ -308,6 +339,7 @@ class AggregateTrace(TraceSink):
     def __init__(self) -> None:
         self.n_rus = 0
         self.reconfig_latency = 0
+        self.n_controllers = 1
         self.n_apps = 0
         self.n_executions = 0
         self.n_reused_executions = 0
@@ -317,6 +349,7 @@ class AggregateTrace(TraceSink):
         self.n_reuses = 0
         self.n_apps_completed = 0
         self.last_completion_time = 0
+        self.no_reuse_baseline_us = 0
         self._makespan = 0
         self._total_reconfig_time = 0
         self._busy: Dict[int, int] = {}
@@ -330,6 +363,7 @@ class AggregateTrace(TraceSink):
             self.n_executions += 1
             if event.reused:
                 self.n_reused_executions += 1
+            self.no_reuse_baseline_us += event.load_us
             try:
                 self._busy[event.ru] += event.end - event.time
             except KeyError:
@@ -353,6 +387,7 @@ class AggregateTrace(TraceSink):
         elif cls is RunStart:
             self.n_rus = event.n_rus
             self.reconfig_latency = event.reconfig_latency
+            self.n_controllers = event.n_controllers
             self.n_apps = event.n_apps
             self._busy = {i: 0 for i in range(event.n_rus)}
 

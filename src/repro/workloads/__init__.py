@@ -21,12 +21,16 @@ from repro.workloads.scenarios import (
     ScenarioInfo,
     adversarial_round_robin_workload,
     available_scenarios,
+    big_little_workload,
     bursty_workload,
     make_scenario,
+    multi_controller_workload,
     paper_evaluation_workload,
     quick_workload,
     scenario,
     scenario_info,
+    sized_benchmark_suite,
+    sized_bitstreams_workload,
 )
 
 __all__ = [

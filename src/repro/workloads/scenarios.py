@@ -21,6 +21,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.graphs.multimedia import DEFAULT_RECONFIG_LATENCY_US, benchmark_suite
+from repro.graphs.serialization import graph_from_dict, graph_to_dict
+from repro.hw.latency import BitstreamLatency, FixedLatency
+from repro.hw.model import DeviceModel, RUSlot
 from repro.util.rng import SeedLike
 from repro.workloads.sequence import (
     Workload,
@@ -42,12 +45,25 @@ PAPER_SEED = 2011  # publication year; any fixed value works
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScenarioInfo:
-    """Registry entry: factory plus the metadata the CLI displays."""
+    """Registry entry: factory plus the metadata the CLI displays.
+
+    ``defaults`` pairs every factory keyword with its default value
+    (``...`` marks a required parameter), so ``repro scenarios`` can show
+    users what each knob is and what it does out of the box.
+    """
 
     name: str
     factory: Callable[..., Workload]
     description: str
     parameters: Tuple[str, ...]
+    defaults: Tuple[Tuple[str, object], ...] = ()
+
+    def signature(self) -> str:
+        """Human-readable ``kwarg=default`` listing for the CLI."""
+        parts = []
+        for name, default in self.defaults:
+            parts.append(name if default is ... else f"{name}={default!r}")
+        return ", ".join(parts)
 
 
 _REGISTRY: Dict[str, ScenarioInfo] = {}
@@ -66,11 +82,19 @@ def scenario(
         if name in _REGISTRY:
             raise WorkloadError(f"scenario {name!r} already registered")
         doc = (factory.__doc__ or "").strip().splitlines()
+        signature = inspect.signature(factory)
         _REGISTRY[name] = ScenarioInfo(
             name=name,
             factory=factory,
             description=description or (doc[0] if doc else ""),
-            parameters=tuple(inspect.signature(factory).parameters),
+            parameters=tuple(signature.parameters),
+            defaults=tuple(
+                (
+                    p.name,
+                    ... if p.default is inspect.Parameter.empty else p.default,
+                )
+                for p in signature.parameters.values()
+            ),
         )
         return factory
 
@@ -192,4 +216,131 @@ def adversarial_round_robin_workload(
         n_rus=n_rus,
         reconfig_latency=DEFAULT_RECONFIG_LATENCY_US,
         name=f"round-robin-{length}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Device-parameterised scenarios (heterogeneous hardware models)
+# ----------------------------------------------------------------------
+def sized_benchmark_suite(
+    small_kb: int = 192, big_kb: int = 640, threshold_us: int = 20_000
+):
+    """The multimedia catalog with realistic, non-uniform bitstream sizes.
+
+    Heavier kernels get bigger bitstreams (``big_kb`` above the
+    ``threshold_us`` execution time, ``small_kb`` below) — graph shapes
+    and execution times are untouched, so zero-latency ideals match the
+    standard catalog exactly.
+    """
+    sized = []
+    for graph in benchmark_suite():
+        payload = graph_to_dict(graph)
+        for task in payload["tasks"]:
+            task["bitstream_kb"] = (
+                big_kb if task["exec_time"] >= threshold_us else small_kb
+            )
+        sized.append(graph_from_dict(payload))
+    return sized
+
+
+@scenario("multi-controller", description="paper-eval on a multi-circuitry device")
+def multi_controller_workload(
+    n_rus: int = 4,
+    controllers: int = 2,
+    length: int = PAPER_SEQUENCE_LENGTH,
+    seed: SeedLike = PAPER_SEED,
+    reconfig_latency: int = DEFAULT_RECONFIG_LATENCY_US,
+) -> Workload:
+    """The paper's §VI workload on a device whose ``controllers``
+    reconfiguration circuitries load bitstreams in parallel.
+
+    Same applications, same sequence, same 4 ms per load — only the
+    serialisation bottleneck of the single circuitry is relaxed, which
+    isolates how much of the residual overhead is *controller contention*
+    rather than raw load latency.
+    """
+    base = paper_evaluation_workload(
+        n_rus=n_rus, length=length, seed=seed, reconfig_latency=reconfig_latency
+    )
+    device = DeviceModel.homogeneous(
+        n_rus,
+        reconfig_latency,
+        n_controllers=controllers,
+        name=f"{n_rus}ru-{controllers}ctrl",
+    )
+    workload = base.with_device_model(device)
+    return dataclasses.replace(
+        workload, name=f"multi-controller-{controllers}x-{length}"
+    )
+
+
+@scenario("big-little", description="asymmetric big/little RU slots")
+def big_little_workload(
+    n_big: int = 2,
+    n_little: int = 2,
+    big_kb: int = 768,
+    little_kb: int = 256,
+    length: int = PAPER_SEQUENCE_LENGTH,
+    seed: SeedLike = PAPER_SEED,
+    reconfig_latency: int = DEFAULT_RECONFIG_LATENCY_US,
+) -> Workload:
+    """Sized multimedia catalog on an asymmetric big/little floorplan.
+
+    Heavy kernels (640 KiB bitstreams) only fit the ``n_big`` big slots;
+    light kernels fit everywhere.  Replacement candidates are filtered by
+    slot compatibility, so policies compete for the scarce big slots —
+    the heterogeneous-region regime of real partial-reconfiguration
+    floorplans.
+    """
+    if little_kb >= big_kb:
+        raise WorkloadError(
+            f"little slots ({little_kb} KiB) must be smaller than big "
+            f"slots ({big_kb} KiB)"
+        )
+    catalog = sized_benchmark_suite(big_kb=min(640, big_kb))
+    device = DeviceModel(
+        slots=tuple(
+            [RUSlot(kind="big", capacity_kb=big_kb)] * n_big
+            + [RUSlot(kind="little", capacity_kb=little_kb)] * n_little
+        ),
+        latency_model=FixedLatency(reconfig_latency),
+        name=f"big{n_big}-little{n_little}",
+    )
+    return Workload(
+        apps=tuple(random_sequence(catalog, length, seed=seed)),
+        n_rus=n_big + n_little,
+        reconfig_latency=reconfig_latency,
+        name=f"big-little-{n_big}b{n_little}l-{length}",
+        seed=seed if isinstance(seed, int) else None,
+        device=device,
+    )
+
+
+@scenario("sized-bitstreams", description="bitstream-size-proportional load latency")
+def sized_bitstreams_workload(
+    n_rus: int = 4,
+    us_per_kb: int = 8,
+    length: int = PAPER_SEQUENCE_LENGTH,
+    seed: SeedLike = PAPER_SEED,
+) -> Workload:
+    """Sized multimedia catalog with per-configuration load costs.
+
+    Every reconfiguration costs ``us_per_kb`` µs per KiB of its bitstream
+    (8 µs/KiB puts the average load near the paper's 4 ms), so evicting a
+    large kernel is genuinely more expensive to undo than evicting a
+    small one — the cost structure the fixed-latency idealisation hides.
+    """
+    catalog = sized_benchmark_suite()
+    device = DeviceModel(
+        slots=tuple(RUSlot() for _ in range(n_rus)),
+        latency_model=BitstreamLatency(us_per_kb=us_per_kb),
+        name=f"sized-{n_rus}ru-{us_per_kb}us",
+    )
+    return Workload(
+        apps=tuple(random_sequence(catalog, length, seed=seed)),
+        n_rus=n_rus,
+        reconfig_latency=device.reconfig_latency,
+        name=f"sized-bitstreams-{us_per_kb}us-{length}",
+        seed=seed if isinstance(seed, int) else None,
+        device=device,
     )

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.graphs.task_graph import TaskGraph
+from repro.hw.model import DeviceModel
 from repro.util.rng import SeedLike, make_rng
 
 
@@ -25,6 +26,13 @@ class Workload:
 
     ``apps`` repeats :class:`TaskGraph` objects by reference: instances of
     the same application share configurations, which is what creates reuse.
+
+    ``device`` optionally carries a full
+    :class:`~repro.hw.model.DeviceModel` (heterogeneous slots,
+    per-configuration latencies, multiple controllers) for scenarios that
+    are *about* the hardware; when present it must agree with the scalar
+    ``n_rus``/``reconfig_latency`` pair, which remains the
+    lowest-common-denominator description every legacy consumer reads.
     """
 
     apps: Tuple[TaskGraph, ...]
@@ -32,6 +40,7 @@ class Workload:
     reconfig_latency: int
     name: str = "workload"
     seed: Optional[int] = None
+    device: Optional["DeviceModel"] = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -40,6 +49,11 @@ class Workload:
             raise WorkloadError(f"n_rus must be >= 1, got {self.n_rus}")
         if self.reconfig_latency < 0:
             raise WorkloadError("reconfig_latency must be >= 0")
+        if self.device is not None and self.device.n_rus != self.n_rus:
+            raise WorkloadError(
+                f"workload says {self.n_rus} RUs but its device model has "
+                f"{self.device.n_rus}"
+            )
 
     @property
     def n_apps(self) -> int:
@@ -63,6 +77,9 @@ class Workload:
         return hist
 
     def with_device(self, n_rus: Optional[int] = None, reconfig_latency: Optional[int] = None) -> "Workload":
+        """Scalar device override; drops any attached device model (the
+        scalars redescribe the hardware, so keeping a stale model would
+        contradict them)."""
         return Workload(
             apps=self.apps,
             n_rus=self.n_rus if n_rus is None else n_rus,
@@ -71,6 +88,17 @@ class Workload:
             ),
             name=self.name,
             seed=self.seed,
+        )
+
+    def with_device_model(self, device: DeviceModel) -> "Workload":
+        """Attach a full device model (scalars follow the model)."""
+        return Workload(
+            apps=self.apps,
+            n_rus=device.n_rus,
+            reconfig_latency=device.reconfig_latency,
+            name=self.name,
+            seed=self.seed,
+            device=device,
         )
 
 
