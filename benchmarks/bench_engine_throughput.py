@@ -1,28 +1,235 @@
-"""Engine throughput — simulator events/second (supporting bench).
+"""Engine throughput — simulator events/second and sweep wall-clock.
 
 Not a paper artifact, but the quantity that makes the 500-application
 evaluation tractable; regressions here make every figure slower to
-regenerate.  Also benchmarks the design-time phase per graph.
+regenerate.  This bench is also the **perf-regression gate**: it writes
+``benchmarks/results/bench_engine_throughput.json``, which CI compares
+against the committed baseline ``BENCH_engine.json`` at the repo root
+(``benchmarks/check_engine_regression.py``, >20 % slowdown fails).
+
+Cases (PR-5 acceptance set):
+
+* ``paper_eval_100_full`` — the classic 100-app full-trace run through
+  :class:`Session` (the original bench case);
+* ``huge_stream_1000_window`` / ``huge_stream_5000_window`` — the
+  window-limited hot path at streaming scale, aggregate trace;
+* ``oracle_1000`` / ``oracle_2000`` — the clairvoyant-LFD path that used
+  to rescan the whole remaining sequence per decision (quadratic); the
+  recorded ``oracle_scaling_ratio`` (events/s at 2000 apps over 1000)
+  must stay near 1.0 now that the oracle view is a lazy slice;
+* ``sweep64_cold_s`` / ``sweep64_warm_s`` — a 64-cell
+  ``Session.sweep(parallel=4)``, run twice on one session: the second
+  sweep reuses the executor (workers + compiled workload kept warm);
+* ``mobility_tables_s`` — the design-time phase for the paper catalog.
+
+A machine-speed calibration loop (``calibration_ops_per_s``) is recorded
+alongside so the regression gate can compare runs from different
+machines on a common scale.
 """
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
-from repro.core.policy_spec import local_lfd_spec
+from repro.core.policy_spec import lfd_spec, local_lfd_spec, lru_spec
 from repro.graphs.multimedia import benchmark_suite
 from repro.session import Session
-from repro.workloads.scenarios import paper_evaluation_workload
+from repro.sim.simulator import run_simulation
+from repro.workloads.compiled import CompiledWorkload
+from repro.workloads.scenarios import make_scenario, paper_evaluation_workload
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_engine_throughput.json"
+
+#: What the pre-compiled-engine ``main`` measured on the baseline-recording
+#: machine (commit eb0667d, same cases, same machine as the committed
+#: BENCH_engine.json): the speedup factors in the results JSON are
+#: computed against these, scaled by the calibration ratio so they stay
+#: meaningful on other machines.
+MAIN_BASELINE = {
+    "calibration_ops_per_s": 9.26e6,
+    "huge_stream_5000_window_events_per_s": 47338.0,
+    "oracle_2000_events_per_s": 4503.0,
+    "sweep64_s": 1.678,
+}
+
+#: Engine cases repeat this many times; the best run is recorded
+#: (standard practice for throughput numbers on shared machines).
+REPEATS = 3
+
+#: 64 sweep cells: 8 specs x 8 RU counts.
+SWEEP_SPECS = [
+    lru_spec(),
+    local_lfd_spec(1),
+    local_lfd_spec(2),
+    local_lfd_spec(3),
+    local_lfd_spec(4),
+    local_lfd_spec(1, skip_events=True),
+    local_lfd_spec(2, skip_events=True),
+    lfd_spec(),
+]
+SWEEP_RUS = (4, 5, 6, 7, 8, 9, 10, 11)
+SWEEP_PARALLEL = 4
+SWEEP_LENGTH = 120
 
 
-def test_simulate_100_apps(benchmark):
+def calibrate(n: int = 200_000) -> float:
+    """Machine-speed reference: ops/second of a fixed pure-Python loop."""
+    t0 = time.perf_counter()
+    acc = 0
+    d = {}
+    for i in range(n):
+        d[i & 1023] = i
+        acc += d[i & 1023]
+    elapsed = time.perf_counter() - t0
+    assert acc  # keep the loop observable
+    return n / elapsed
+
+
+def _engine_run(workload, spec, trace, compiled):
+    best = None
+    events = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run_simulation(
+            workload.apps,
+            n_rus=workload.n_rus,
+            reconfig_latency=workload.reconfig_latency,
+            advisor=spec.make_advisor(),
+            semantics=spec.make_semantics(),
+            ideal_makespan_us=0,  # this bench measures the engine, not metrics
+            trace=trace,
+            compiled=compiled,
+        )
+        wall = time.perf_counter() - t0
+        assert result.trace.n_executions == workload.n_tasks
+        events = result.trace.n_executions + result.trace.n_reconfigurations
+        best = wall if best is None or wall < best else best
+    return {
+        "wall_s": round(best, 4),
+        "events": events,
+        "events_per_s": round(events / best, 1),
+    }
+
+
+def test_engine_throughput_suite():
+    cases = {}
+
+    # Classic case: 100 apps, full trace, through the Session engine
+    # (best of REPEATS like every engine case; the first run also pays
+    # the design-time phase, later ones hit the session cache).
     workload = paper_evaluation_workload(length=100)
     session = Session(Device(4, workload.reconfig_latency), workload)
-    spec = local_lfd_spec(1)
+    best = None
+    events = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = session.run(local_lfd_spec(1))
+        wall = time.perf_counter() - t0
+        assert result.trace.n_executions == workload.n_tasks
+        events = result.trace.n_executions + len(result.trace.reconfigs)
+        best = wall if best is None or wall < best else best
+    cases["paper_eval_100_full"] = {
+        "wall_s": round(best, 4),
+        "events": events,
+        "events_per_s": round(events / best, 1),
+    }
 
-    result = benchmark(session.run, spec)
-    assert result.trace.n_executions == workload.n_tasks
+    # Streaming scale, window-limited policy (the compiled hot path).
+    for length in (1000, 5000):
+        w = make_scenario("huge-stream", length=length)
+        compiled = CompiledWorkload.compile(w.apps)
+        cases[f"huge_stream_{length}_window"] = _engine_run(
+            w, local_lfd_spec(1), "aggregate", compiled
+        )
 
+    # Oracle (whole-remaining-sequence) policy: the formerly quadratic path.
+    for length in (1000, 2000):
+        w = make_scenario("huge-stream", length=length)
+        compiled = CompiledWorkload.compile(w.apps)
+        cases[f"oracle_{length}"] = _engine_run(w, lfd_spec(), "aggregate", compiled)
+    ratio = (
+        cases["oracle_2000"]["events_per_s"] / cases["oracle_1000"]["events_per_s"]
+    )
+    cases["oracle_scaling_ratio"] = round(ratio, 3)
+    # Quadratic scaling would halve events/s when the length doubles
+    # (the pre-compiled engine measured 0.53); the lazy oracle view must
+    # keep throughput roughly flat.
+    assert ratio > 0.7, f"oracle path scales superlinearly again (ratio {ratio:.2f})"
 
-def test_mobility_tables_for_suite(benchmark):
-    calc = MobilityCalculator(n_rus=4, reconfig_latency=4000)
-    tables = benchmark(calc.compute_tables, benchmark_suite())
-    assert set(tables) == {"JPEG", "MPEG1", "HOUGH"}
+    # 64-cell parallel sweep, twice on one session (executor reuse).
+    sweep_workload = make_scenario("quick", length=SWEEP_LENGTH)
+    with Session(workload=sweep_workload) as sweep_session:
+        t0 = time.perf_counter()
+        cold = sweep_session.sweep(
+            SWEEP_SPECS, ru_counts=SWEEP_RUS, parallel=SWEEP_PARALLEL,
+            trace="aggregate",
+        )
+        cases["sweep64_cold_s"] = round(time.perf_counter() - t0, 4)
+        best_warm = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            warm = sweep_session.sweep(
+                SWEEP_SPECS, ru_counts=SWEEP_RUS, parallel=SWEEP_PARALLEL,
+                trace="aggregate",
+            )
+            wall = time.perf_counter() - t0
+            best_warm = wall if best_warm is None or wall < best_warm else best_warm
+            assert cold.records == warm.records  # reuse changes nothing but time
+        cases["sweep64_warm_s"] = round(best_warm, 4)
+        assert len(cold.records) == len(SWEEP_SPECS) * len(SWEEP_RUS) == 64
+
+    # Design-time phase for the paper catalog (fresh calculator per
+    # repeat so every run pays the real Fig. 6 search, best of REPEATS).
+    best_mob = None
+    for _ in range(REPEATS):
+        calc = MobilityCalculator(n_rus=4, reconfig_latency=4000)
+        t0 = time.perf_counter()
+        tables = calc.compute_tables(benchmark_suite())
+        wall = time.perf_counter() - t0
+        best_mob = wall if best_mob is None or wall < best_mob else best_mob
+        assert set(tables) == {"JPEG", "MPEG1", "HOUGH"}
+    cases["mobility_tables_s"] = round(best_mob, 4)
+
+    calibration = max(calibrate() for _ in range(REPEATS))
+    # Speedups vs the pre-compiled engine on main, machine-scaled through
+    # the calibration ratio (see MAIN_BASELINE).
+    scale = calibration / MAIN_BASELINE["calibration_ops_per_s"]
+    speedups = {
+        "huge_stream_5000_window_x": round(
+            cases["huge_stream_5000_window"]["events_per_s"]
+            / (MAIN_BASELINE["huge_stream_5000_window_events_per_s"] * scale),
+            2,
+        ),
+        "oracle_2000_x": round(
+            cases["oracle_2000"]["events_per_s"]
+            / (MAIN_BASELINE["oracle_2000_events_per_s"] * scale),
+            2,
+        ),
+        "sweep64_x": round(
+            (MAIN_BASELINE["sweep64_s"] / scale) / cases["sweep64_cold_s"], 2
+        ),
+        "sweep64_warm_x": round(
+            (MAIN_BASELINE["sweep64_s"] / scale) / cases["sweep64_warm_s"], 2
+        ),
+    }
+    # The machine-scaled speedups are *recorded*, not asserted: the
+    # calibration loop tracks overall machine speed, not necessarily the
+    # engine-to-calibration ratio of a different Python build, so a hard
+    # floor here could flake (or mask) without a real engine change.
+    # Regression detection is the explicit-tolerance job of
+    # check_engine_regression.py against the committed baseline; the one
+    # machine-independent invariant (oracle throughput flat in sequence
+    # length) is asserted above.
+
+    payload = {
+        "benchmark": "engine_throughput",
+        "calibration_ops_per_s": round(calibration, 1),
+        "vs_main_baseline": speedups,
+        "cases": cases,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

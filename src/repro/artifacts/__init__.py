@@ -30,6 +30,7 @@ stats|clear|warm`` and ``--store DIR`` on the run/sweep/figure commands.
 
 from repro.artifacts.keys import (
     arrival_fingerprint,
+    compiled_key,
     graphs_content_key,
     ideal_key,
     ideal_semantics_fingerprint,
@@ -38,8 +39,10 @@ from repro.artifacts.keys import (
 )
 from repro.artifacts.schema import (
     SCHEMA_VERSION,
+    decode_compiled,
     decode_ideal,
     decode_mobility_tables,
+    encode_compiled,
     encode_ideal,
     encode_mobility_tables,
 )
@@ -50,9 +53,12 @@ __all__ = [
     "StoreStats",
     "SCHEMA_VERSION",
     "arrival_fingerprint",
+    "compiled_key",
+    "decode_compiled",
     "decode_ideal",
     "decode_mobility_tables",
     "default_store_root",
+    "encode_compiled",
     "encode_ideal",
     "encode_mobility_tables",
     "graphs_content_key",

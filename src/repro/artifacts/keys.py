@@ -144,6 +144,17 @@ def ideal_key(
     return _digest(payload)
 
 
+def compiled_key(content_key: str) -> str:
+    """Composite key for one compiled-workload entry.
+
+    ``content_key`` is :func:`workload_content_key` of the workload —
+    the compiled form is a pure function of graphs + sequence, so no
+    device or semantics input belongs in the key.  The version marker
+    invalidates stored entries whenever the compiled layout changes.
+    """
+    return _digest(["compiled-v1", content_key])
+
+
 def mobility_key(
     content_key: str,
     n_rus: int,

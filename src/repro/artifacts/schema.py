@@ -92,6 +92,26 @@ def decode_mobility_tables(key: str, entry: Any) -> Dict[str, Dict[int, int]]:
 
 
 # ----------------------------------------------------------------------
+# Compiled workloads: the run-independent pre-processing
+# ----------------------------------------------------------------------
+def encode_compiled(key: str, compiled, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for a :class:`~repro.workloads.compiled.CompiledWorkload`."""
+    return _envelope("compiled", key, compiled.to_payload(), meta)
+
+
+def decode_compiled(key: str, entry: Any):
+    from repro.workloads.compiled import CompiledWorkload
+
+    payload = _open_envelope("compiled", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("compiled payload is not an object")
+    try:
+        return CompiledWorkload.from_payload(payload)
+    except Exception as exc:  # WorkloadError and malformed-structure errors
+        raise ArtifactDecodeError(f"malformed compiled payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # Zero-latency ideal makespans: one integer
 # ----------------------------------------------------------------------
 def encode_ideal(key: str, makespan_us: int, meta: Optional[Mapping] = None) -> Dict:

@@ -32,7 +32,7 @@ from repro.artifacts.schema import SCHEMA_VERSION, ArtifactDecodeError
 from repro.exceptions import ReproError
 
 #: Artifact kinds the store recognises (one subdirectory each).
-KINDS = ("mobility", "ideal")
+KINDS = ("mobility", "ideal", "compiled")
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_CACHE_DIR"

@@ -253,6 +253,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="provide the clairvoyant reference string for the 'run' command",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run the 'run' command under cProfile and print the top-25 "
+            "cumulative functions; with FILE, additionally dump the raw "
+            "stats there (pstats format, e.g. for snakeviz)"
+        ),
+    )
     return parser
 
 
@@ -337,7 +349,16 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.latency_model is not None:
         model = model.with_latency_model(parse_latency_model(args.latency_model))
     device_override = model if model != session.device else None
-    result = session.run(spec, n_rus=n_rus, device=device_override)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = session.run(spec, n_rus=n_rus, device=device_override)
+        profiler.disable()
+    else:
+        result = session.run(spec, n_rus=n_rus, device=device_override)
     if n_rus is not None:
         model = model.with_n_rus(n_rus)
     print(f"{label} on {session.workload.name!r} ({model.describe()}):")
@@ -345,6 +366,13 @@ def _run_single(args: argparse.Namespace) -> int:
         print(f"  {key:>24}: {value}")
     if args.trace_out:
         print(f"(event log streamed to {args.trace_out})")
+    if args.profile is not None:
+        stats = pstats.Stats(profiler)
+        if args.profile != "-":
+            stats.dump_stats(args.profile)
+            print(f"(profile stats dumped to {args.profile})")
+        print("top 25 functions by cumulative time:")
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 
@@ -404,11 +432,13 @@ def _run_cache(args: argparse.Namespace) -> int:
     # warm: pay the design-time phase for a scenario once, into the store.
     session = Session(workload=_workload(args), store=store)
     session.cache.warm(session.workload, tuple(args.rus))
-    mob, ideal = session.cache.mobility_stats, session.cache.ideal_stats
+    cache = session.cache
+    mob, ideal, comp = cache.mobility_stats, cache.ideal_stats, cache.compiled_stats
     print(
         f"warmed {session.workload.name!r} at RUs {tuple(args.rus)}: "
         f"{mob.computations} mobility computations, {ideal.computations} ideal "
-        f"makespans computed; {mob.disk_hits + ideal.disk_hits} already on disk "
+        f"makespans, {comp.computations} workload compilations; "
+        f"{mob.disk_hits + ideal.disk_hits + comp.disk_hits} already on disk "
         f"({store.root})"
     )
     return 0
@@ -436,6 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ("--device", args.device),
         ("--latency-model", args.latency_model),
         ("--controllers", args.controllers),
+        ("--profile", args.profile),
     ):
         if value is not None and command != "run":
             print(

@@ -17,7 +17,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import PolicyError
 from repro.graphs.task import ConfigId
-from repro.sim.interface import DecisionContext
+from repro.sim.interface import DecisionContext, noop_hook
 from repro.sim.ru import RUView
 
 
@@ -51,14 +51,19 @@ class ReplacementPolicy(abc.ABC):
     #
     # Stateless policies (LRU/FIFO/...) read everything they need from the
     # RU views; stateful ones from the cache literature (LFU, LRU-K,
-    # CLOCK) override these to maintain frequency/reference state.
+    # CLOCK) override these to maintain frequency/reference state.  The
+    # defaults are marked no-op hooks so the engine skips the calls
+    # entirely for policies that keep no state.
     # ------------------------------------------------------------------
+    @noop_hook
     def on_load_complete(self, ru_index: int, config, now: int) -> None:
         """A reconfiguration finished (a configuration entered an RU)."""
 
+    @noop_hook
     def on_reuse(self, ru_index: int, config, now: int) -> None:
         """A configuration was claimed without reconfiguration."""
 
+    @noop_hook
     def on_execution_end(self, ru_index: int, config, now: int) -> None:
         """A task finished executing (a configuration 'use')."""
 
@@ -74,9 +79,18 @@ def forward_distance(
     Returns ``math.inf`` when the configuration is never referenced again
     within ``refs`` — such candidates are ideal victims for LFD-style
     policies (Belady [10]: evict the request farthest in the future).
+
+    Reference strings supplied by the engine expose a C-speed ``find``
+    (a :class:`~repro.workloads.compiled.RefsView` over the compiled
+    workload's flat reference array); plain sequences fall back to the
+    literal scan.
     """
     if config is None:
         return math.inf
+    find = getattr(refs, "find", None)
+    if find is not None:
+        i = find(config)
+        return math.inf if i < 0 else float(i)
     for i, ref in enumerate(refs):
         if ref == config:
             return float(i)

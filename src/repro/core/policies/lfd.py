@@ -19,6 +19,38 @@ from repro.exceptions import PolicyError
 from repro.sim.interface import DecisionContext
 
 
+def _farthest_candidate(candidates, refs) -> int:
+    """Index of the candidate whose config is referenced farthest ahead.
+
+    Semantically ``argbest(candidates, forward_distance, prefer_max=True)``
+    (first-candidate tie-break included), hand-inlined for the engine's
+    hottest policy call: reference strings supplied by the engine expose
+    a C-speed ``find`` (see
+    :class:`~repro.workloads.compiled.RefsView`); plain sequences take
+    the :func:`forward_distance` fallback.
+    """
+    find = getattr(refs, "find", None)
+    if find is None:
+        return argbest(
+            candidates,
+            key=lambda v: forward_distance(v.config, refs),
+            prefer_max=True,
+        ).index
+    best = candidates[0]
+    pos = find(best.config) if best.config is not None else -1
+    if pos < 0:  # never referenced again: no candidate can beat it
+        return best.index
+    best_key = pos
+    for view in candidates[1:]:
+        config = view.config
+        pos = find(config) if config is not None else -1
+        if pos < 0:
+            return view.index
+        if pos > best_key:
+            best, best_key = view, pos
+    return best.index
+
+
 class LFDPolicy(ReplacementPolicy):
     """Clairvoyant Longest-Forward-Distance (Belady) — the paper's
     optimal-reuse upper bound.
@@ -35,12 +67,7 @@ class LFDPolicy(ReplacementPolicy):
                 "LFD needs the oracle view; run the manager with "
                 "semantics.provide_oracle=True"
             )
-        refs = ctx.oracle_refs
-        return argbest(
-            ctx.candidates,
-            key=lambda v: forward_distance(v.config, refs),
-            prefer_max=True,
-        ).index
+        return _farthest_candidate(ctx.candidates, ctx.oracle_refs)
 
 
 class LocalLFDPolicy(ReplacementPolicy):
@@ -56,12 +83,7 @@ class LocalLFDPolicy(ReplacementPolicy):
     name = "LocalLFD"
 
     def select_victim(self, ctx: DecisionContext) -> int:
-        refs = ctx.future_refs
-        return argbest(
-            ctx.candidates,
-            key=lambda v: forward_distance(v.config, refs),
-            prefer_max=True,
-        ).index
+        return _farthest_candidate(ctx.candidates, ctx.future_refs)
 
 
 def local_lfd_name(window: int, skip_events: bool = False) -> str:

@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.artifacts.keys import (
     arrival_fingerprint,
+    compiled_key,
     graphs_content_key,
     ideal_key,
     ideal_semantics_fingerprint,
@@ -51,8 +52,10 @@ from repro.artifacts.keys import (
     workload_content_key,  # noqa: F401  (re-exported; was defined here)
 )
 from repro.artifacts.schema import (
+    decode_compiled,
     decode_ideal,
     decode_mobility_tables,
+    encode_compiled,
     encode_ideal,
     encode_mobility_tables,
 )
@@ -68,6 +71,7 @@ from repro.sim.manager import MobilityTables
 from repro.sim.semantics import ManagerSemantics
 from repro.sim.simulator import SimulationResult, ideal_makespan, run_simulation
 from repro.sim.tracing import TraceMode, TraceSink
+from repro.workloads.compiled import CompiledWorkload
 from repro.workloads.sequence import Workload
 
 
@@ -133,9 +137,11 @@ class ArtifactCache:
         self.store = store
         self._ideal: Dict[Tuple, int] = {}
         self._mobility: Dict[Tuple, MobilityTables] = {}
+        self._compiled: Dict[str, CompiledWorkload] = {}
         self._calculators: Dict[Tuple, MobilityCalculator] = {}
         self.ideal_stats = CacheStats()
         self.mobility_stats = CacheStats()
+        self.compiled_stats = CacheStats()
 
     @staticmethod
     def _device_memory_key(device: Optional[DeviceModel]) -> Optional[str]:
@@ -188,7 +194,43 @@ class ArtifactCache:
         return {
             "ideal": self.ideal_stats.as_dict(),
             "mobility": self.mobility_stats.as_dict(),
+            "compiled": self.compiled_stats.as_dict(),
         }
+
+    def compiled_workload(
+        self, content_key: str, apps: Sequence[TaskGraph]
+    ) -> CompiledWorkload:
+        """The :class:`CompiledWorkload` for this content, computed once.
+
+        Memory tier first, then the artifact store (kind ``"compiled"``),
+        then :meth:`CompiledWorkload.compile` — published back to the
+        store so warm processes skip workload compilation entirely.
+        """
+        cached = self._compiled.get(content_key)
+        if cached is not None:
+            self.compiled_stats.hits += 1
+            return cached
+        self.compiled_stats.misses += 1
+        disk_key = compiled_key(content_key)
+        if self.store is not None:
+            stored = self.store.load("compiled", disk_key, decode_compiled)
+            if stored is not None and stored.matches(apps):
+                self.compiled_stats.disk_hits += 1
+                self._compiled[content_key] = stored
+                return stored
+        compiled = CompiledWorkload.compile(apps)
+        self._compiled[content_key] = compiled
+        if self.store is not None:
+            self._store_put(
+                "compiled",
+                disk_key,
+                encode_compiled(
+                    disk_key,
+                    compiled,
+                    meta={"content_key": content_key, "n_apps": compiled.n_apps},
+                ),
+            )
+        return compiled
 
     def _calculator(
         self,
@@ -218,6 +260,7 @@ class ArtifactCache:
         arrival_times: Optional[Sequence[int]] = None,
         semantics: ManagerSemantics = ManagerSemantics(),
         device: Optional[DeviceModel] = None,
+        compiled: Optional[CompiledWorkload] = None,
     ) -> int:
         if device is not None and n_rus != device.n_rus:
             raise ExperimentError(
@@ -247,13 +290,23 @@ class ArtifactCache:
                 self.ideal_stats.disk_hits += 1
                 self._ideal[key] = stored
                 return stored
+        if compiled is None:
+            compiled = self.compiled_workload(content_key, apps)
         if device_key is None:
             value = ideal_makespan(
-                apps, n_rus, arrival_times=arrival_times, semantics=semantics
+                apps,
+                n_rus,
+                arrival_times=arrival_times,
+                semantics=semantics,
+                compiled=compiled,
             )
         else:
             value = ideal_makespan(
-                apps, arrival_times=arrival_times, semantics=semantics, device=device
+                apps,
+                arrival_times=arrival_times,
+                semantics=semantics,
+                device=device,
+                compiled=compiled,
             )
         self._ideal[key] = value
         if self.store is not None:
@@ -316,8 +369,15 @@ class ArtifactCache:
         ru_counts: Sequence[int],
         reconfig_latencies: Optional[Sequence[int]] = None,
     ) -> None:
-        """Precompute (or fault in) every artifact for a workload sweep."""
+        """Precompute (or fault in) every artifact for a workload sweep.
+
+        Covers all three kinds: the compiled workload, the zero-latency
+        ideal per RU count, and the mobility tables per (RU count,
+        latency) — a warm store then serves every design-time artifact
+        *and* the workload compilation from disk.
+        """
         content = workload_content_key(workload)
+        self.compiled_workload(content, list(workload.apps))
         latencies = (
             tuple(reconfig_latencies)
             if reconfig_latencies is not None
@@ -409,11 +469,21 @@ class DeviceCellRecord:
 # Process-pool worker (module level so it pickles under spawn too)
 # ----------------------------------------------------------------------
 _WORKER_APPS: Tuple[TaskGraph, ...] = ()
+_WORKER_COMPILED: Optional[CompiledWorkload] = None
 
 
-def _init_worker(apps: Tuple[TaskGraph, ...]) -> None:
-    global _WORKER_APPS
+def _init_worker(
+    apps: Tuple[TaskGraph, ...], compiled: Optional[CompiledWorkload] = None
+) -> None:
+    """One-time per-process setup: the apps and their compiled form.
+
+    Shipping the compiled workload in the initargs (instead of per
+    submitted cell) means each worker deserialises it exactly once, and
+    no cell pays compilation.
+    """
+    global _WORKER_APPS, _WORKER_COMPILED
     _WORKER_APPS = apps
+    _WORKER_COMPILED = compiled if compiled is not None else CompiledWorkload.compile(apps)
 
 
 def _hardware_kwargs(cell: "SweepCell") -> Dict[str, object]:
@@ -444,6 +514,7 @@ def _run_cell_in_worker(
         mobility_tables=mobility,
         ideal_makespan_us=ideal_us,
         trace=trace,
+        compiled=_WORKER_COMPILED,
         **hardware,
     )
     return PolicyRunRecord.from_result(spec.label, n_rus, result)
@@ -532,6 +603,59 @@ class Session:
         self.trace_mode: TraceMode = trace
         self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
         self._content_key = workload_content_key(workload)
+        self._compiled_obj: Optional[CompiledWorkload] = None
+        # Worker pool reused across consecutive parallel sweeps (the
+        # compiled workload ships once per worker, not once per sweep).
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def compiled(self) -> CompiledWorkload:
+        """This workload's :class:`CompiledWorkload` (cached, store-backed)."""
+        if self._compiled_obj is None:
+            self._compiled_obj = self.cache.compiled_workload(
+                self._content_key, self._apps
+            )
+        return self._compiled_obj
+
+    def close(self) -> None:
+        """Shut down the reusable worker pool (idempotent).
+
+        Sessions are usable without ever calling this — the pool also
+        shuts down when the session is garbage-collected or the process
+        exits — but long-lived programs that are done sweeping should
+        release the workers eagerly.  ``with Session(...) as s:`` does it
+        automatically.
+        """
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown order varies
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
+        """A process pool with exactly ``workers`` workers, reused when the
+        previous batch asked for the same parallelism."""
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self._apps, self.compiled()),
+        )
+        self._pool_workers = workers
+        return self._pool
 
     # -- hook fan-out ---------------------------------------------------
     def _emit(self, method: str, *args) -> None:
@@ -605,6 +729,7 @@ class Session:
             arrival_times=arrival_times,
             semantics=semantics,
             device=device,
+            compiled=self.compiled(),
         )
 
     def mobility_tables(
@@ -680,6 +805,7 @@ class Session:
             ideal_makespan_us=ideal,
             trace=self.trace_mode if trace is None else trace,
             extra_sinks=self._hook_sinks(cell),
+            compiled=self.compiled(),
             **_hardware_kwargs(cell),
         )
         self._emit(
@@ -829,6 +955,7 @@ class Session:
                     ideal,
                     trace=trace_mode,
                     extra_sinks=self._hook_sinks(cell),
+                    compiled=self.compiled(),
                 )
                 self._emit("on_run_end", cell, record)
                 self._emit("on_sweep_progress", done, total)
@@ -840,14 +967,13 @@ class Session:
         self, cells: List[SweepCell], parallel: int, trace_mode: TraceMode = "full"
     ) -> List[PolicyRunRecord]:
         # Design-time phase stays in the parent so the cache is shared;
-        # workers only replay the run-time phase of each cell.
+        # workers only replay the run-time phase of each cell.  The pool
+        # persists on the session across consecutive sweeps (same
+        # parallelism → same warm workers, compiled workload shipped once).
         artifacts = [self._cell_artifacts(cell) for cell in cells]
         records: List[Optional[PolicyRunRecord]] = [None] * len(cells)
-        with ProcessPoolExecutor(
-            max_workers=min(parallel, len(cells)),
-            initializer=_init_worker,
-            initargs=(self._apps,),
-        ) as pool:
+        pool = self._get_pool(min(parallel, len(cells)))
+        try:
             future_to_index = {}
             for i, (cell, (mobility, ideal)) in enumerate(zip(cells, artifacts)):
                 self._emit("on_run_start", cell)
@@ -872,6 +998,11 @@ class Session:
                     done_count += 1
                     self._emit("on_run_end", cells[i], records[i])
                     self._emit("on_sweep_progress", done_count, len(cells))
+        except BaseException:
+            # A failed batch may have broken the pool (worker crash) —
+            # drop it so the next sweep starts from a fresh one.
+            self.close()
+            raise
         missing = [i for i, r in enumerate(records) if r is None]
         if missing:  # keeps cell/record pairing honest for grid()'s zip
             raise ExperimentError(f"parallel sweep lost results for cells {missing}")
@@ -885,6 +1016,7 @@ def _run_cell_local(
     ideal_us: int,
     trace: TraceMode = "full",
     extra_sinks: Sequence[TraceSink] = (),
+    compiled: Optional[CompiledWorkload] = None,
 ) -> PolicyRunRecord:
     result = run_simulation(
         apps,
@@ -894,6 +1026,7 @@ def _run_cell_local(
         ideal_makespan_us=ideal_us,
         trace=trace,
         extra_sinks=extra_sinks,
+        compiled=compiled,
         **_hardware_kwargs(cell),
     )
     return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)

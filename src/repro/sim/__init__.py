@@ -8,7 +8,7 @@ metrics), plus trace recording, validation and ASCII Gantt rendering.
 """
 
 from repro.sim.simtime import TimeUs, fmt_ms, ms, to_ms
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import EventKind, EventQueue, EventTuple
 from repro.sim.ru import RU, RUState, RUView
 from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics, PAPER_SEMANTICS
 from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
@@ -61,9 +61,9 @@ __all__ = [
     "fmt_ms",
     "ms",
     "to_ms",
-    "Event",
     "EventKind",
     "EventQueue",
+    "EventTuple",
     "RU",
     "RUState",
     "RUView",

@@ -29,6 +29,18 @@ from repro.sim.ru import RUView
 class DecisionContext:
     """Everything a replacement policy may look at for one decision.
 
+    **Validity window.**  A context (and everything reachable from it —
+    ``candidates``, ``future_refs``, ``oracle_refs``, ``dl_configs``,
+    ``busy_configs``) is valid only for the duration of the ``decide``
+    call it was built for.  The engine reuses scratch carriers and lazy
+    views across decisions for speed, so an advisor must copy anything
+    it wants to keep (``tuple(ctx.future_refs)``,
+    ``frozenset(ctx.dl_configs)``, ...) rather than retain references.
+    None of the built-in policies retain state from the context.
+
+    This frozen dataclass remains the documented field contract (and
+    what unit tests construct); the engine's carrier duck-types it.
+
     Attributes
     ----------
     now:
@@ -89,11 +101,42 @@ class Decision:
 
     @staticmethod
     def load(victim_index: int) -> "Decision":
+        # Decisions are immutable values; small victim indices (the
+        # overwhelmingly common case) return interned instances so the
+        # hot loop allocates nothing per decision.
+        if 0 <= victim_index < len(_INTERNED_LOADS):
+            return _INTERNED_LOADS[victim_index]
         return Decision(victim_index=victim_index, skip=False)
 
     @staticmethod
     def skip_event(victim_index: Optional[int] = None) -> "Decision":
         return Decision(victim_index=victim_index, skip=True)
+
+
+_INTERNED_LOADS: Tuple[Decision, ...] = tuple(
+    Decision(victim_index=i, skip=False) for i in range(64)
+)
+
+
+def noop_hook(fn):
+    """Mark a default (do-nothing) bookkeeping hook.
+
+    The execution manager resolves every advisor hook once at
+    construction and *elides the call entirely* when the resolved
+    implementation carries this marker — stateless policies then pay
+    nothing per notification.  Overriding a hook (anywhere in the class
+    hierarchy, or by binding an instance attribute) removes the marker's
+    effect automatically, because resolution looks at the implementation
+    that would actually run.
+    """
+    fn.__repro_noop_hook__ = True
+    return fn
+
+
+def resolve_hook(bound):
+    """``bound`` unless it resolves to a :func:`noop_hook`, else ``None``."""
+    fn = getattr(bound, "__func__", bound)
+    return None if getattr(fn, "__repro_noop_hook__", False) else bound
 
 
 class ReplacementAdvisor(abc.ABC):
@@ -106,18 +149,23 @@ class ReplacementAdvisor(abc.ABC):
     # ------------------------------------------------------------------
     # Bookkeeping notifications (default: ignore)
     # ------------------------------------------------------------------
+    @noop_hook
     def on_load_complete(self, ru_index: int, config: ConfigId, now: int) -> None:
         """A reconfiguration finished on ``ru_index``."""
 
+    @noop_hook
     def on_reuse(self, ru_index: int, config: ConfigId, now: int) -> None:
         """A configuration was reused without reconfiguration."""
 
+    @noop_hook
     def on_execution_start(self, ru_index: int, config: ConfigId, now: int) -> None:
         """A task started executing."""
 
+    @noop_hook
     def on_execution_end(self, ru_index: int, config: ConfigId, now: int) -> None:
         """A task finished executing."""
 
+    @noop_hook
     def on_app_activated(self, app_index: int, now: int) -> None:
         """An application became the current one."""
 

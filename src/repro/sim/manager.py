@@ -21,23 +21,37 @@ Model summary (see DESIGN.md §3 for the resolved ambiguities S1-S6):
 * The design-time pre-processing stores each graph's tasks in a "sorted
   sequence of reconfigurations" (:meth:`TaskGraph.reconfiguration_order`);
   the global dispatch order is the concatenation of the per-application
-  sequences.
+  sequences.  That pre-processing now lives in
+  :class:`~repro.workloads.compiled.CompiledWorkload` — built once per
+  workload and shared across runs, sweep cells and worker processes
+  (pass ``compiled=``; the manager compiles on the fly otherwise).
 * When the head of the sequence is already loaded, it is **reused**: no
   reconfiguration happens and the RU is claimed for the upcoming execution.
   Reuses of future applications are consumed only when the application
   becomes current (S2), so a loaded future configuration parks the
   sequence rather than claiming device state early.
-* When a load needs an eviction, the manager builds a
-  :class:`DecisionContext` and consults the :class:`ReplacementAdvisor`
-  (the paper's replacement module, Fig. 8), which may *skip the event* —
-  delay the reconfiguration — when the victim would be reused soon and the
-  incoming task has mobility to spare.
+* When a load needs an eviction, the manager builds a decision context
+  and consults the :class:`ReplacementAdvisor` (the paper's replacement
+  module, Fig. 8), which may *skip the event* — delay the reconfiguration —
+  when the victim would be reused soon and the incoming task has mobility
+  to spare.
+
+Hot-loop engineering (see docs/performance.md): the Dynamic-List window
+handed to policies is maintained *incrementally* as the dispatch pointer
+and clock advance (O(1) amortised per decision instead of rescanning the
+remaining sequence), the oracle view is a lazy slice of the precompiled
+flat reference string, decision contexts and RU snapshots are per-manager
+scratch structures reused across decisions, and free RUs / ready
+executions / busy configurations are tracked in dedicated collections so
+no per-event full-device scan remains.  None of this changes a single
+emitted trace event — equivalence is pinned event-for-event by
+``tests/test_compiled_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+import heapq
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import PolicyError, SimulationError
@@ -45,10 +59,11 @@ from repro.graphs.task import ConfigId, TaskInstance
 from repro.graphs.task_graph import TaskGraph
 from repro.hw.model import DeviceModel, as_device_model
 from repro.sim.events import EventKind, EventQueue
-from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
+from repro.sim.interface import Decision, ReplacementAdvisor, resolve_hook
 from repro.sim.ru import RU, RUState
 from repro.sim.semantics import CrossAppPrefetch, ManagerSemantics
 from repro.sim.tracing import (
+    SCALAR_HOOK_KEYS,
     AppActivated,
     AppCompleted,
     Eviction,
@@ -66,9 +81,21 @@ from repro.sim.tracing import (
     TraceView,
     resolve_trace_mode,
 )
+from repro.workloads.compiled import (
+    CompiledApp,
+    CompiledWorkload,
+    RefsView,
+    WindowConfigSet,
+)
 
 #: Mobility tables: graph name -> node id -> mobility (max skippable events).
 MobilityTables = Mapping[str, Mapping[int, int]]
+
+_EXEC = int(EventKind.END_OF_EXECUTION)
+_RECONF = int(EventKind.END_OF_RECONFIGURATION)
+_ARRIVAL = int(EventKind.APP_ARRIVAL)
+
+_LOADED = RUState.LOADED
 
 
 class _AppRun:
@@ -76,32 +103,19 @@ class _AppRun:
 
     __slots__ = (
         "index",
-        "graph",
-        "rec_order",
-        "instances",
+        "capp",
         "remaining_preds",
         "done",
         "unfinished",
         "arrival_time",
     )
 
-    def __init__(self, index: int, graph: TaskGraph, arrival_time: int) -> None:
+    def __init__(self, index: int, capp: CompiledApp, arrival_time: int) -> None:
         self.index = index
-        self.graph = graph
-        self.rec_order: Tuple[int, ...] = graph.reconfiguration_order()
-        self.instances: Dict[int, TaskInstance] = {
-            nid: TaskInstance(
-                app_index=index,
-                config=graph.config_id(nid),
-                exec_time=graph.task(nid).exec_time,
-            )
-            for nid in graph.node_ids
-        }
-        self.remaining_preds: Dict[int, int] = {
-            nid: len(graph.predecessors(nid)) for nid in graph.node_ids
-        }
+        self.capp = capp
+        self.remaining_preds: Dict[int, int] = dict(capp.pred_counts)
         self.done: set = set()
-        self.unfinished = len(graph)
+        self.unfinished = capp.n_tasks
         self.arrival_time = arrival_time
 
     def deps_met(self, node_id: int) -> bool:
@@ -109,6 +123,61 @@ class _AppRun:
 
     def complete(self) -> bool:
         return self.unfinished == 0
+
+
+class _ScratchRUView:
+    """Mutable RU snapshot reused across decisions (duck-types ``RUView``).
+
+    One instance exists per RU per manager; its volatile fields are
+    refreshed right before each replacement decision.  Policies must not
+    retain references across ``decide`` calls (none of the registered
+    policies do — the decision context is documented as valid for the
+    duration of one decision).
+    """
+
+    __slots__ = ("index", "config", "state", "last_use", "load_end", "kind", "capacity_kb")
+
+    def __init__(self, index: int, kind: str, capacity_kb: Optional[int]) -> None:
+        self.index = index
+        self.config: Optional[ConfigId] = None
+        self.state = RUState.EMPTY
+        self.last_use = 0
+        self.load_end = 0
+        self.kind = kind
+        self.capacity_kb = capacity_kb
+
+
+class _ScratchContext:
+    """Mutable decision context reused across decisions.
+
+    Duck-types :class:`~repro.sim.interface.DecisionContext`; the frozen
+    dataclass remains the documented contract (and what unit tests build),
+    this is simply the allocation-free carrier the manager hands to the
+    advisor.  Valid only for the duration of one ``decide`` call.
+    """
+
+    __slots__ = (
+        "now",
+        "incoming",
+        "candidates",
+        "future_refs",
+        "oracle_refs",
+        "dl_configs",
+        "busy_configs",
+        "mobility",
+        "skipped_events",
+    )
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.incoming: Optional[TaskInstance] = None
+        self.candidates: Sequence = ()
+        self.future_refs: Sequence[ConfigId] = ()
+        self.oracle_refs: Optional[Sequence[ConfigId]] = None
+        self.dl_configs = frozenset()
+        self.busy_configs = frozenset()
+        self.mobility = 0
+        self.skipped_events = 0
 
 
 class ExecutionManager:
@@ -162,6 +231,11 @@ class ExecutionManager:
     extra_sinks:
         Additional :class:`~repro.sim.tracing.TraceSink` observers; they
         receive every event after the primary sink.
+    compiled:
+        A :class:`~repro.workloads.compiled.CompiledWorkload` for
+        ``graphs`` — the run-independent pre-processing, computed once
+        per workload and shared across runs/processes.  Compiled on the
+        fly when omitted (identical behaviour, just repeated work).
     """
 
     def __init__(
@@ -177,6 +251,7 @@ class ExecutionManager:
         trace: TraceMode = "full",
         extra_sinks: Sequence[TraceSink] = (),
         device: Optional[DeviceModel] = None,
+        compiled: Optional[CompiledWorkload] = None,
     ) -> None:
         if advisor is None:
             raise SimulationError("an advisor (replacement module) is required")
@@ -206,11 +281,18 @@ class ExecutionManager:
             raise SimulationError(
                 "arrival_times must match the number of applications"
             )
-        max_par = max(_max_concurrency(g) for g in graphs)
-        if max_par > device.n_rus:
+        if compiled is None:
+            compiled = CompiledWorkload.compile(graphs)
+        elif not compiled.matches(graphs):
             raise SimulationError(
-                f"an application needs {max_par} concurrent RUs but the "
-                f"device has only {device.n_rus}; the barrier model cannot schedule it"
+                "compiled workload does not describe this application "
+                "sequence (length or graph names differ)"
+            )
+        if compiled.max_concurrency > device.n_rus:
+            raise SimulationError(
+                f"an application needs {compiled.max_concurrency} concurrent "
+                f"RUs but the device has only {device.n_rus}; the barrier "
+                "model cannot schedule it"
             )
 
         self.semantics = semantics
@@ -219,6 +301,7 @@ class ExecutionManager:
         self.reconfig_latency = device.reconfig_latency
         self.advisor = advisor
         self.mobility_tables = mobility_tables or {}
+        self.compiled = compiled
         self._arrivals = list(arrival_times) if arrival_times else [0] * len(graphs)
 
         # Fast-path switches: on the paper's homogeneous device neither a
@@ -226,40 +309,158 @@ class ExecutionManager:
         self._fixed_latency = device.fixed_latency_us
         self._uniform_slots = device.has_uniform_slots
         if not self._uniform_slots:
-            self._check_slot_coverage(graphs, device)
+            self._check_slot_coverage(compiled, device)
+        #: Per-dense-config load cost, only materialised when it varies.
+        self._cost_by_cid: Optional[Tuple[int, ...]] = (
+            None if self._fixed_latency is not None else compiled.load_costs(device)
+        )
 
         self.apps: List[_AppRun] = [
-            _AppRun(i, g, self._arrivals[i]) for i, g in enumerate(graphs)
+            _AppRun(i, compiled.app(i), self._arrivals[i])
+            for i in range(compiled.n_apps)
         ]
         self.rus: List[RU] = [
             RU(i, slot=device.slots[i]) for i in range(device.n_rus)
         ]
         self.queue = EventQueue()
+        self._push = self.queue.push
         self.clock = 0
         self._trace_primary, self._sinks = resolve_trace_mode(trace, extra_sinks)
+        hooks = None
+        if len(self._sinks) == 1:
+            # Single-sink fast path: skip the fan-out frame per event,
+            # and — when the sink offers the scalar protocol — skip
+            # constructing TraceEvent objects altogether.
+            self._emit = self._sinks[0].on_event  # type: ignore[method-assign]
+            hooks = self._sinks[0].scalar_hooks()
+        if hooks is not None:
+            missing = [key for key, _ in SCALAR_HOOK_KEYS if key not in hooks]
+            if missing:
+                raise SimulationError(
+                    f"{type(self._sinks[0]).__name__}.scalar_hooks() is "
+                    f"missing key(s) {missing}; a scalar-protocol sink must "
+                    f"cover every key in SCALAR_HOOK_KEYS "
+                    f"({[key for key, _ in SCALAR_HOOK_KEYS]}) — use None "
+                    "for ignored kinds, or return None from scalar_hooks() "
+                    "to receive event objects"
+                )
+            self._emit_run_start = hooks["run_start"]
+            self._emit_app_activated = hooks["app_activated"]
+            self._emit_reconfig_start = hooks["reconfig_start"]
+            self._emit_reconfig_end = hooks["reconfig_end"]
+            self._emit_reuse = hooks["reuse"]
+            self._emit_eviction = hooks["eviction"]
+            self._emit_skip = hooks["skip"]
+            self._emit_exec_start = hooks["exec_start"]
+            self._emit_exec_end = hooks["exec_end"]
+            self._emit_app_completed = hooks["app_completed"]
+            self._emit_run_end = hooks["run_end"]
+        else:
+            self._emit_run_start = self._emit_run_start_obj
+            self._emit_app_activated = self._emit_app_activated_obj
+            self._emit_reconfig_start = self._emit_reconfig_start_obj
+            self._emit_reconfig_end = self._emit_reconfig_end_obj
+            self._emit_reuse = self._emit_reuse_obj
+            self._emit_eviction = self._emit_eviction_obj
+            self._emit_skip = self._emit_skip_obj
+            self._emit_exec_start = self._emit_exec_start_obj
+            self._emit_exec_end = self._emit_exec_end_obj
+            self._emit_app_completed = self._emit_app_completed_obj
+            self._emit_run_end = self._emit_run_end_obj
+        # Advisor bookkeeping hooks, resolved once: ``None`` when the
+        # advisor (or the policy it forwards to) left the default no-op —
+        # stateless policies then pay nothing per notification.
+        self._notify_load = resolve_hook(advisor.on_load_complete)
+        self._notify_reuse = resolve_hook(advisor.on_reuse)
+        self._notify_exec_start = resolve_hook(advisor.on_execution_start)
+        self._notify_exec_end = resolve_hook(advisor.on_execution_end)
+        self._notify_activated = resolve_hook(advisor.on_app_activated)
+
+        # Loop-invariant semantics switches, resolved once.
+        self._lookahead = semantics.lookahead_apps
+        self._cap_isolated = semantics.cross_app_prefetch is CrossAppPrefetch.ISOLATED
+        self._cap_free_only = (
+            semantics.cross_app_prefetch is CrossAppPrefetch.FREE_RU_ONLY
+        )
+        self._stall_loaded = semantics.stall_on_loaded_future
+        self._provide_oracle = semantics.provide_oracle
 
         # Dispatch pointer over the concatenated reconfiguration sequences.
         self._dispatch_app = 0       # index into self.apps
         self._dispatch_pos = 0       # index into that app's rec_order
         self._current_app = 0        # application currently executing
+        #: Head-instance cache (dispatch pointer at creation + instance).
+        self._head_da = -1
+        self._head_dp = -1
+        self._head_obj: Optional[TaskInstance] = None
         #: Free reconfiguration controllers, kept sorted so arbitration is
         #: deterministic (lowest-numbered free controller loads next).
         self._free_controllers: List[int] = list(range(device.n_controllers))
+        #: Free (never-yet-loaded) RU indices as a min-heap: claiming the
+        #: lowest-index free RU is O(log n), and RUs never return to EMPTY.
+        self._free_rus: List[int] = list(range(device.n_rus))
+        #: RU indices with a loaded-and-claimed configuration awaiting its
+        #: execution start (state LOADED, ``pending`` set), kept sorted so
+        #: executions start in RU-index order without re-sorting per event.
+        #: Only *current-application* claims live here; future-application
+        #: claims are parked per app and merged on activation, so the
+        #: per-event scan never revisits RUs that cannot start yet.
+        self._ready: List[int] = []
+        self._parked: Dict[int, List[int]] = {}
+        #: Configurations currently executing or being reconfigured —
+        #: maintained on state transitions instead of scanned per decision.
+        self._busy_cfgs: set = set()
         #: True only while recovering from an idle-skip stall (see
         #: :meth:`_break_idle_skip_stall`).
         self._idle_stall = False
         #: Events skipped so far per application instance (Fig. 8 counter).
         self.skipped_events: Dict[int, int] = {}
-        #: Where each loaded config lives: config -> RU index.
-        self._loc: Dict[ConfigId, int] = {}
+        #: Where each loaded config lives: dense config id -> RU index.
+        self._loc: List[Optional[int]] = [None] * compiled.n_configs
+        #: Dense config id currently held by each RU (parallel to rus).
+        self._ru_cid: List[Optional[int]] = [None] * device.n_rus
         #: Remaining unconditional delay budget per (app_index, node_id).
         self._forced_delays: Dict[Tuple[int, int], int] = (
             dict(forced_delays) if forced_delays else {}
         )
 
+        # Incremental Dynamic-List window over the flat reference string:
+        # reference counts per dense config for flat positions
+        # [_win_rem, _win_add), advanced monotonically with the dispatch
+        # pointer, the current application and the clock.
+        self._win_counts: List[int] = [0] * compiled.n_configs
+        self._win_add = 0
+        self._win_rem = 0
+        self._win_end_app = 0
+        self._dl_view = WindowConfigSet(
+            self._win_counts, compiled.config_index, compiled.config_ids
+        )
+        self._ctx = _ScratchContext()
+        self._ctx.busy_configs = self._busy_cfgs
+        self._ctx.dl_configs = self._dl_view
+        # Reusable lazy views over the flat reference string; their
+        # bounds are refreshed per decision (valid for one decision only).
+        self._future_view = RefsView(compiled.flat_configs, 0, 0)
+        self._oracle_view = RefsView(compiled.flat_configs, 0, 0)
+        self._cand_scratch: List[_ScratchRUView] = []
+        self._views: List[_ScratchRUView] = [
+            _ScratchRUView(i, device.slots[i].kind, device.slots[i].capacity_kb)
+            for i in range(device.n_rus)
+        ]
+        #: Per distinct graph: mobility per rec-order position (or None).
+        tables = self.mobility_tables
+        self._mobility_by_graph: List[Optional[Tuple[int, ...]]] = [
+            (
+                None
+                if (table := tables.get(capp.name)) is None
+                else tuple(int(table.get(nid, 0)) for nid in capp.rec_order)
+            )
+            for capp in compiled.graphs
+        ]
+
     @staticmethod
     def _check_slot_coverage(
-        graphs: Sequence[TaskGraph], device: DeviceModel
+        compiled: CompiledWorkload, device: DeviceModel
     ) -> None:
         """Every configuration must fit at least one slot of the floorplan.
 
@@ -267,16 +468,11 @@ class ExecutionManager:
         would surface much later as an opaque dispatch deadlock; fail at
         construction with the offending task instead.
         """
-        seen: set = set()
-        for graph in graphs:
-            if graph.name in seen:
-                continue
-            seen.add(graph.name)
-            for nid in graph.node_ids:
-                kb = graph.task(nid).bitstream_kb
+        for capp in compiled.graphs:
+            for nid, kb in zip(capp.rec_order, capp.rec_bitstreams):
                 if not device.compatible_slot_indices(kb):
                     raise SimulationError(
-                        f"configuration {graph.name}.{nid} needs a "
+                        f"configuration {capp.name}.{nid} needs a "
                         f"{kb} KiB slot but no slot of device "
                         f"{device.label!r} can hold it"
                     )
@@ -293,6 +489,94 @@ class ExecutionManager:
         for sink in self._sinks:
             sink.on_event(event)
 
+    # -- object-path emitters (multi-sink / object-protocol sinks) -------
+    # Each mirrors a scalar hook signature exactly; the scalar and object
+    # paths are interchangeable per run and produce identical traces.
+    def _emit_run_start_obj(self, time, n_rus, reconfig_latency, n_apps, n_controllers):
+        self._emit(
+            RunStart(
+                time=time,
+                n_rus=n_rus,
+                reconfig_latency=reconfig_latency,
+                n_apps=n_apps,
+                n_controllers=n_controllers,
+            )
+        )
+
+    def _emit_app_activated_obj(self, time, app_index):
+        self._emit(AppActivated(time=time, app_index=app_index))
+
+    def _emit_reconfig_start_obj(self, time, ru, config, app_index, end, controller):
+        self._emit(
+            ReconfigStart(
+                time=time,
+                ru=ru,
+                config=config,
+                app_index=app_index,
+                end=end,
+                controller=controller,
+            )
+        )
+
+    def _emit_reconfig_end_obj(self, time, ru, config, app_index, controller, latency):
+        self._emit(
+            ReconfigEnd(
+                time=time,
+                ru=ru,
+                config=config,
+                app_index=app_index,
+                controller=controller,
+                latency=latency,
+            )
+        )
+
+    def _emit_reuse_obj(self, time, ru, config, app_index):
+        self._emit(Reuse(time=time, ru=ru, config=config, app_index=app_index))
+
+    def _emit_eviction_obj(self, time, ru, old_config, new_config, app_index):
+        self._emit(
+            Eviction(
+                time=time,
+                ru=ru,
+                old_config=old_config,
+                new_config=new_config,
+                app_index=app_index,
+            )
+        )
+
+    def _emit_skip_obj(self, time, app_index, config, victim_config, skipped_events_after):
+        self._emit(
+            Skip(
+                time=time,
+                app_index=app_index,
+                config=config,
+                victim_config=victim_config,
+                skipped_events_after=skipped_events_after,
+            )
+        )
+
+    def _emit_exec_start_obj(self, time, ru, config, app_index, end, reused, load_us):
+        self._emit(
+            ExecStart(
+                time=time,
+                ru=ru,
+                config=config,
+                app_index=app_index,
+                end=end,
+                reused=reused,
+                load_us=load_us,
+            )
+        )
+
+    def _emit_exec_end_obj(self, time, ru, config, app_index):
+        self._emit(ExecEnd(time=time, ru=ru, config=config, app_index=app_index))
+
+    def _emit_app_completed_obj(self, time, app_index):
+        self._emit(AppCompleted(time=time, app_index=app_index))
+
+    def _emit_run_end_obj(self, time):
+        self._emit(RunEnd(time=time))
+
     def run(self) -> TraceView:
         """Execute the whole sequence and return the trace view.
 
@@ -307,18 +591,16 @@ class ExecutionManager:
                 sink.close()
 
     def _run(self) -> TraceView:
-        self._emit(
-            RunStart(
-                time=0,
-                n_rus=self.n_rus,
-                reconfig_latency=self.reconfig_latency,
-                n_apps=len(self.apps),
-                n_controllers=self.device.n_controllers,
-            )
-        )
+        em = self._emit_run_start
+        if em is not None:
+            em(0, self.n_rus, self.reconfig_latency, len(self.apps),
+               self.device.n_controllers)
         self.advisor.reset()
-        self.advisor.on_app_activated(0, 0)
-        self._emit(AppActivated(time=0, app_index=0))
+        if self._notify_activated is not None:
+            self._notify_activated(0, 0)
+        em = self._emit_app_activated
+        if em is not None:
+            em(0, 0)
         self.skipped_events[0] = 0
         for app in self.apps:
             if app.arrival_time > 0:
@@ -327,26 +609,30 @@ class ExecutionManager:
         self._dispatch_and_start()
 
         guard = 0
-        guard_limit = 1000 * sum(len(a.graph) for a in self.apps) + 10_000
+        guard_limit = 1000 * self.compiled.n_tasks + 10_000
+        queue = self.queue
+        pop = queue.pop
+        handle_exec = self._handle_end_of_execution
+        handle_reconf = self._handle_end_of_reconfiguration
         while True:
-            while self.queue:
-                event = self.queue.pop()
-                if event.time < self.clock:
+            while queue:
+                time_, kind, _seq, payload = pop()
+                if time_ < self.clock:  # pragma: no cover - defensive
                     raise SimulationError("event queue went backwards in time")
-                self.clock = event.time
-                if event.kind is EventKind.END_OF_EXECUTION:
-                    self._handle_end_of_execution(*event.payload)
-                elif event.kind is EventKind.END_OF_RECONFIGURATION:
-                    self._handle_end_of_reconfiguration(*event.payload)
-                elif event.kind is EventKind.APP_ARRIVAL:
+                self.clock = time_
+                if kind == _EXEC:
+                    handle_exec(payload[0], payload[1])
+                elif kind == _RECONF:
+                    handle_reconf(payload[0], payload[1], payload[2], payload[3])
+                elif kind == _ARRIVAL:
                     self._dispatch_and_start()
                 else:  # pragma: no cover - defensive
-                    raise SimulationError(f"unknown event kind {event.kind!r}")
+                    raise SimulationError(f"unknown event kind {kind!r}")
                 guard += 1
                 if guard > guard_limit:  # pragma: no cover - defensive
                     raise SimulationError("simulation exceeded event budget (livelock?)")
 
-            if all(a.complete() for a in self.apps):
+            if all(a.unfinished == 0 for a in self.apps):
                 break
             # The queue drained with work remaining.  The one legal cause
             # is a skip-event taken while nothing was in flight: "wait for
@@ -362,7 +648,9 @@ class ExecutionManager:
                     f"simulation ended with unfinished applications {unfinished}; "
                     "this indicates a dispatch deadlock"
                 )
-        self._emit(RunEnd(time=self.clock))
+        em = self._emit_run_end
+        if em is not None:
+            em(self.clock)
         return self.trace
 
     def _break_idle_skip_stall(self) -> bool:
@@ -388,26 +676,29 @@ class ExecutionManager:
         finished = ru.finish_execution(self.clock)
         if finished is not instance:  # pragma: no cover - defensive
             raise SimulationError("execution bookkeeping mismatch")
-        self._emit(
-            ExecEnd(
-                time=self.clock,
-                ru=ru_index,
-                config=instance.config,
-                app_index=instance.app_index,
-            )
-        )
-        self.advisor.on_execution_end(ru_index, instance.config, self.clock)
+        config = instance.config
+        self._busy_cfgs.discard(config)
+        em = self._emit_exec_end
+        if em is not None:
+            em(self.clock, ru_index, config, instance.app_index)
+        if self._notify_exec_end is not None:
+            self._notify_exec_end(ru_index, config, self.clock)
 
         app = self.apps[instance.app_index]
-        app.done.add(instance.node_id)
+        node_id = config[1]
+        app.done.add(node_id)
         app.unfinished -= 1
-        for succ in app.graph.successors(instance.node_id):
-            app.remaining_preds[succ] -= 1
+        remaining = app.remaining_preds
+        for succ in app.capp.successors[node_id]:
+            remaining[succ] -= 1
 
-        if app.complete():
-            self._emit(AppCompleted(time=self.clock, app_index=app.index))
+        if app.unfinished == 0:
+            em = self._emit_app_completed
+            if em is not None:
+                em(self.clock, app.index)
             self._activate_next_app()
-        self._dispatch_and_start()
+        self._try_dispatch()
+        self._start_ready_executions()
 
     def _handle_end_of_reconfiguration(
         self, ru_index: int, instance: TaskInstance, controller: int, latency: int
@@ -415,30 +706,40 @@ class ExecutionManager:
         ru = self.rus[ru_index]
         ru.finish_load(self.clock)
         bisect.insort(self._free_controllers, controller)
-        self._emit(
-            ReconfigEnd(
-                time=self.clock,
-                ru=ru_index,
-                config=instance.config,
-                app_index=instance.app_index,
-                controller=controller,
-                latency=latency,
-            )
-        )
-        self.advisor.on_load_complete(ru_index, instance.config, self.clock)
-        self._dispatch_and_start()
+        config = instance.config
+        self._busy_cfgs.discard(config)
+        app_index = instance.app_index
+        if app_index == self._current_app:
+            bisect.insort(self._ready, ru_index)
+        else:
+            bisect.insort(self._parked.setdefault(app_index, []), ru_index)
+        em = self._emit_reconfig_end
+        if em is not None:
+            em(self.clock, ru_index, config, instance.app_index, controller, latency)
+        if self._notify_load is not None:
+            self._notify_load(ru_index, config, self.clock)
+        self._try_dispatch()
+        self._start_ready_executions()
 
     def _activate_next_app(self) -> None:
         """Advance the current-application pointer past completed apps."""
         while (
             self._current_app < len(self.apps)
-            and self.apps[self._current_app].complete()
+            and self.apps[self._current_app].unfinished == 0
         ):
             self._current_app += 1
         if self._current_app < len(self.apps):
+            parked = self._parked.pop(self._current_app, None)
+            if parked:
+                ready = self._ready
+                for ru_index in parked:
+                    bisect.insort(ready, ru_index)
             self.skipped_events.setdefault(self._current_app, 0)
-            self.advisor.on_app_activated(self._current_app, self.clock)
-            self._emit(AppActivated(time=self.clock, app_index=self._current_app))
+            if self._notify_activated is not None:
+                self._notify_activated(self._current_app, self.clock)
+            em = self._emit_app_activated
+            if em is not None:
+                em(self.clock, self._current_app)
 
     # ------------------------------------------------------------------
     # Dispatch (the replacement-module invocation loop)
@@ -447,6 +748,23 @@ class ExecutionManager:
         self._try_dispatch()
         self._start_ready_executions()
 
+    def _head_instance(self, app: _AppRun, pos: int) -> TaskInstance:
+        """The head task instance, cached per dispatch position (skips and
+        stalled attempts revisit the same head many times)."""
+        index = app.index
+        if self._head_da == index and self._head_dp == pos:
+            return self._head_obj  # type: ignore[return-value]
+        capp = app.capp
+        instance = TaskInstance(
+            app_index=index,
+            config=capp.rec_configs[pos],
+            exec_time=capp.rec_exec_times[pos],
+        )
+        self._head_da = index
+        self._head_dp = pos
+        self._head_obj = instance
+        return instance
+
     def _try_dispatch(self) -> None:
         """Process the reconfiguration sequence while progress is possible.
 
@@ -454,28 +772,51 @@ class ExecutionManager:
         (Fig. 4 lines 3/9/12) until every controller is busy, the sequence
         is exhausted/stalled, or a skip-event defers the head.
         """
+        if not self._free_controllers:
+            return
+        apps = self.apps
+        rus = self.rus
+        n_apps = len(apps)
+        lookahead = self._lookahead
+        uniform = self._uniform_slots
+        fast_kb = uniform and self._fixed_latency is not None
+        loc = self._loc
         idle_skips = 0
         while True:
             if not self._free_controllers:
                 return
-            head = self._peek_head()
-            if head is None:
+            # Advance the dispatch pointer past exhausted applications.
+            da = self._dispatch_app
+            dp = self._dispatch_pos
+            while da < n_apps and dp >= apps[da].capp.n_tasks:
+                da += 1
+                dp = 0
+            self._dispatch_app = da
+            self._dispatch_pos = dp
+            if da >= n_apps:
                 return
-            instance, app = head
-            if not self._visible(app):
+            app = apps[da]
+            # Visibility: arrived and within the Dynamic-List lookahead.
+            if app.arrival_time > self.clock:
                 return
+            if da - self._current_app > lookahead:
+                return
+            capp = app.capp
 
             # Design-time forced delay (mobility calculation, Fig. 6):
             # consume one load opportunity without dispatching.
-            delay_key = (instance.app_index, instance.node_id)
-            budget = self._forced_delays.get(delay_key, 0)
-            if budget > 0:
-                self._forced_delays[delay_key] = budget - 1
-                return
+            if self._forced_delays:
+                delay_key = (da, capp.rec_order[dp])
+                budget = self._forced_delays.get(delay_key, 0)
+                if budget > 0:
+                    self._forced_delays[delay_key] = budget - 1
+                    return
 
-            loc = self._loc.get(instance.config)
-            if loc is not None:
-                ru = self.rus[loc]
+            cid = capp.rec_cids[dp]
+            ru_index = loc[cid]
+            if ru_index is not None:
+                ru = rus[ru_index]
+                instance = self._head_instance(app, dp)
                 if ru.config != instance.config:  # pragma: no cover - defensive
                     raise SimulationError("location map out of sync")
                 if ru.pending is not None or ru.state in (
@@ -485,57 +826,68 @@ class ExecutionManager:
                     # Config exists but is claimed/busy for an earlier
                     # instance; wait for it to free up.
                     return
-                if app.index != self._current_app and self.semantics.stall_on_loaded_future:
+                if da != self._current_app and self._stall_loaded:
                     # S2: future reuse consumed only on activation.
                     return
                 ru.claim_reuse(instance)
+                if da == self._current_app:
+                    bisect.insort(self._ready, ru_index)
+                else:
+                    bisect.insort(self._parked.setdefault(da, []), ru_index)
                 self._advance_head()
-                self._emit(
-                    Reuse(
-                        time=self.clock,
-                        ru=ru.index,
-                        config=instance.config,
-                        app_index=app.index,
-                    )
-                )
-                self.advisor.on_reuse(ru.index, instance.config, self.clock)
+                em = self._emit_reuse
+                if em is not None:
+                    em(self.clock, ru_index, instance.config, da)
+                if self._notify_reuse is not None:
+                    self._notify_reuse(ru_index, instance.config, self.clock)
                 continue
 
             # Configuration absent: a reconfiguration is required.
-            is_future = app.index != self._current_app
-            if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.ISOLATED:
+            is_future = da != self._current_app
+            if is_future and self._cap_isolated:
                 return
-            kb = self._bitstream_kb(instance)
-            free = self._first_free_ru(kb)
+            kb = 0 if fast_kb else capp.rec_bitstreams[dp]
+            free = self._claim_free_ru(kb)
             if free is not None:
-                self._begin_load(free, instance)
+                self._begin_load(free, self._head_instance(app, dp), cid)
                 continue
-            if is_future and self.semantics.cross_app_prefetch is CrossAppPrefetch.FREE_RU_ONLY:
+            if is_future and self._cap_free_only:
                 return
 
             # Replacement candidates, filtered to slots the incoming
             # bitstream fits (on uniform floorplans the filter is a no-op).
-            candidates = tuple(
-                ru.view()
-                for ru in self.rus
-                if ru.is_candidate and (self._uniform_slots or ru.fits(kb))
-            )
+            candidates = self._cand_scratch
+            candidates.clear()
+            views = self._views
+            for ru in rus:
+                if ru.state is _LOADED and ru.pending is None and (
+                    uniform or ru.fits(kb)
+                ):
+                    view = views[ru.index]
+                    view.config = ru.config
+                    view.state = _LOADED
+                    view.last_use = ru.last_use
+                    view.load_end = ru.load_end
+                    candidates.append(view)
             if not candidates:
                 return
-            ctx = self._build_context(instance, candidates)
+            instance = self._head_instance(app, dp)
+            ctx = self._build_context(instance, candidates, da, dp)
             decision = self.advisor.decide(ctx)
             if decision.skip:
-                self.skipped_events[instance.app_index] = ctx.skipped_events + 1
+                self.skipped_events[da] = ctx.skipped_events + 1
+                # Validates the advisor's named victim even when no sink
+                # listens for Skip events.
                 victim_cfg = self._skip_victim_config(ctx, decision)
-                self._emit(
-                    Skip(
-                        time=self.clock,
-                        app_index=instance.app_index,
-                        config=instance.config,
-                        victim_config=victim_cfg,
-                        skipped_events_after=ctx.skipped_events + 1,
+                em = self._emit_skip
+                if em is not None:
+                    em(
+                        self.clock,
+                        da,
+                        instance.config,
+                        victim_cfg,
+                        ctx.skipped_events + 1,
                     )
-                )
                 if self._idle_stall and not self.queue:
                     # Stall recovery (see _break_idle_skip_stall): the
                     # skip was emitted and counted, but no future event
@@ -544,25 +896,19 @@ class ExecutionManager:
                     if idle_skips > 10_000:
                         raise SimulationError(
                             "advisor keeps skipping on an idle device "
-                            f"(app {instance.app_index}, {instance.config}); "
+                            f"(app {da}, {instance.config}); "
                             "a skip rule must be bounded by the mobility budget"
                         )
                     continue
                 return
             victim = self._validate_victim(decision, candidates)
-            self._emit(
-                Eviction(
-                    time=self.clock,
-                    ru=victim.index,
-                    old_config=victim.config,  # type: ignore[arg-type]
-                    new_config=instance.config,
-                    app_index=instance.app_index,
-                )
-            )
-            self._begin_load(self.rus[victim.index], instance)
+            em = self._emit_eviction
+            if em is not None:
+                em(self.clock, victim.index, victim.config, instance.config, da)
+            self._begin_load(rus[victim.index], instance, cid)
             continue
 
-    def _skip_victim_config(self, ctx: DecisionContext, decision: Decision) -> ConfigId:
+    def _skip_victim_config(self, ctx, decision: Decision) -> ConfigId:
         """Which configuration did this skip protect?
 
         When the advisor reports the victim it selected before the skip
@@ -585,7 +931,7 @@ class ExecutionManager:
                 return view.config  # type: ignore[return-value]
         return ctx.candidates[0].config  # type: ignore[return-value]
 
-    def _validate_victim(self, decision: Decision, candidates) -> "RUView":
+    def _validate_victim(self, decision: Decision, candidates) -> "_ScratchRUView":
         if decision.victim_index is None:
             raise PolicyError("advisor returned a load decision without a victim")
         for view in candidates:
@@ -596,182 +942,175 @@ class ExecutionManager:
             f"(candidates: {[v.index for v in candidates]})"
         )
 
-    def _begin_load(self, ru: RU, instance: TaskInstance) -> None:
+    def _begin_load(self, ru: RU, instance: TaskInstance, cid: int) -> None:
         if not self._free_controllers:  # pragma: no cover - defensive
             raise SimulationError("every reconfiguration controller is busy")
-        if ru.config is not None:
-            self._loc.pop(ru.config, None)
+        ru_index = ru.index
+        old_cid = self._ru_cid[ru_index]
+        if old_cid is not None:
+            self._loc[old_cid] = None
         ru.begin_load(instance, self.clock)
-        self._loc[instance.config] = ru.index
+        self._loc[cid] = ru_index
+        self._ru_cid[ru_index] = cid
+        self._busy_cfgs.add(instance.config)
         controller = self._free_controllers.pop(0)
-        latency = self._load_cost(instance)
-        end = self.clock + latency
-        self._emit(
-            ReconfigStart(
-                time=self.clock,
-                ru=ru.index,
-                config=instance.config,
-                app_index=instance.app_index,
-                end=end,
-                controller=controller,
-            )
+        latency = (
+            self._fixed_latency
+            if self._fixed_latency is not None
+            else self._cost_by_cid[cid]  # type: ignore[index]
         )
+        end = self.clock + latency
+        em = self._emit_reconfig_start
+        if em is not None:
+            em(self.clock, ru_index, instance.config, instance.app_index, end, controller)
         self._advance_head()
-        self.queue.push(
+        self._push(
             end,
             EventKind.END_OF_RECONFIGURATION,
-            (ru.index, instance, controller, latency),
+            (ru_index, instance, controller, latency),
         )
+
+    def _advance_head(self) -> None:
+        self._dispatch_pos += 1
 
     # ------------------------------------------------------------------
     # Execution starts (Fig. 4 lines 6-7 and 15-19)
     # ------------------------------------------------------------------
     def _start_ready_executions(self) -> None:
-        if self._current_app >= len(self.apps):
+        ready = self._ready
+        if not ready:
             return
-        app = self.apps[self._current_app]
-        for ru in self.rus:
-            if (
-                ru.state is RUState.LOADED
-                and ru.pending is not None
-                and ru.pending.app_index == self._current_app
-                and app.deps_met(ru.pending.node_id)
-            ):
-                reused = ru.pending_reused
-                instance = ru.start_execution(self.clock)
-                end = self.clock + instance.exec_time
-                self._emit(
-                    ExecStart(
-                        time=self.clock,
-                        ru=ru.index,
-                        config=instance.config,
-                        app_index=instance.app_index,
-                        end=end,
-                        reused=reused,
-                        load_us=self._load_cost(instance),
-                    )
+        cur = self._current_app
+        if cur >= len(self.apps):
+            return
+        remaining = self.apps[cur].remaining_preds
+        rus = self.rus
+        clock = self.clock
+        notify = self._notify_exec_start
+        i = 0
+        while i < len(ready):
+            ru_index = ready[i]
+            ru = rus[ru_index]
+            pending = ru.pending
+            if pending.app_index != cur or remaining[pending.config[1]] != 0:
+                i += 1
+                continue
+            del ready[i]
+            reused = ru.pending_reused
+            instance = ru.start_execution(clock)
+            self._busy_cfgs.add(instance.config)
+            end = clock + instance.exec_time
+            emit_start = self._emit_exec_start
+            if emit_start is not None:
+                emit_start(
+                    clock,
+                    ru_index,
+                    instance.config,
+                    instance.app_index,
+                    end,
+                    reused,
+                    self._load_cost_for_ru(ru_index),
                 )
-                self.advisor.on_execution_start(ru.index, instance.config, self.clock)
-                self.queue.push(end, EventKind.END_OF_EXECUTION, (ru.index, instance))
-
-    # ------------------------------------------------------------------
-    # Sequence pointer and visibility
-    # ------------------------------------------------------------------
-    def _peek_head(self) -> Optional[Tuple[TaskInstance, _AppRun]]:
-        while self._dispatch_app < len(self.apps):
-            app = self.apps[self._dispatch_app]
-            if self._dispatch_pos < len(app.rec_order):
-                node_id = app.rec_order[self._dispatch_pos]
-                return app.instances[node_id], app
-            self._dispatch_app += 1
-            self._dispatch_pos = 0
-        return None
-
-    def _advance_head(self) -> None:
-        self._dispatch_pos += 1
-
-    def _visible(self, app: _AppRun) -> bool:
-        """May the manager dispatch into ``app`` right now?"""
-        if app.arrival_time > self.clock:
-            return False
-        distance = app.index - self._current_app
-        return distance <= self.semantics.lookahead_apps
-
-    def _first_free_ru(self, bitstream_kb: int) -> Optional[RU]:
-        """Lowest-index free RU whose slot fits the incoming bitstream."""
-        for ru in self.rus:
-            if ru.is_free and (self._uniform_slots or ru.fits(bitstream_kb)):
-                return ru
-        return None
+            if notify is not None:
+                notify(ru_index, instance.config, clock)
+            self._push(end, EventKind.END_OF_EXECUTION, (ru_index, instance))
 
     # ------------------------------------------------------------------
     # Device-model lookups (short-circuited on the homogeneous fast path)
     # ------------------------------------------------------------------
-    def _bitstream_kb(self, instance: TaskInstance) -> int:
-        """Bitstream size (KiB) of the instance's configuration.
+    def _claim_free_ru(self, bitstream_kb: int) -> Optional[RU]:
+        """Pop the lowest-index free RU whose slot fits the bitstream.
 
-        On the homogeneous fast path (uniform slots, fixed latency) no
-        consumer reads the value, so the graph lookup is skipped.
+        Free RUs live in a min-heap (RUs never return to EMPTY, so the
+        structure only drains): the uniform-floorplan claim is one
+        O(log n) pop instead of an O(n) scan over the device.
         """
-        if self._uniform_slots and self._fixed_latency is not None:
-            return 0
-        return self.apps[instance.app_index].graph.task(instance.node_id).bitstream_kb
+        free = self._free_rus
+        if not free:
+            return None
+        if self._uniform_slots:
+            return self.rus[heapq.heappop(free)]
+        rejected: List[int] = []
+        found: Optional[RU] = None
+        while free:
+            index = heapq.heappop(free)
+            ru = self.rus[index]
+            if ru.fits(bitstream_kb):
+                found = ru
+                break
+            rejected.append(index)
+        for index in rejected:
+            heapq.heappush(free, index)
+        return found
 
-    def _load_cost(self, instance: TaskInstance) -> int:
-        """Reconfiguration latency of the instance's configuration (µs)."""
+    def _load_cost_for_ru(self, ru_index: int) -> int:
+        """Load latency (µs) of the configuration resident on ``ru_index``."""
         if self._fixed_latency is not None:
             return self._fixed_latency
-        return self.device.load_latency_us(
-            instance.config, self._bitstream_kb(instance)
-        )
+        cid = self._ru_cid[ru_index]
+        return self._cost_by_cid[cid]  # type: ignore[index]
 
     # ------------------------------------------------------------------
-    # Decision context
+    # Decision context (incremental Dynamic-List window)
     # ------------------------------------------------------------------
-    def _build_context(self, instance: TaskInstance, candidates) -> DecisionContext:
-        future = self._future_refs(self.semantics.lookahead_apps)
-        oracle = self._future_refs(None) if self.semantics.provide_oracle else None
-        mobility = int(
-            self.mobility_tables.get(instance.graph_name, {}).get(instance.node_id, 0)
-        )
-        skipped = self.skipped_events.setdefault(instance.app_index, 0)
-        busy = frozenset(
-            ru.config
-            for ru in self.rus
-            if ru.config is not None
-            and ru.state in (RUState.EXECUTING, RUState.RECONFIGURING)
-        )
-        return DecisionContext(
-            now=self.clock,
-            incoming=instance,
-            candidates=candidates,
-            future_refs=future,
-            oracle_refs=oracle,
-            dl_configs=frozenset(future),
-            busy_configs=busy,
-            mobility=mobility,
-            skipped_events=skipped,
-        )
+    def _build_context(
+        self,
+        instance: TaskInstance,
+        candidates: List[_ScratchRUView],
+        da: int,
+        dp: int,
+    ):
+        compiled = self.compiled
+        offsets = compiled.app_offsets
+        gpos = offsets[da] + dp
+        start = gpos + 1
 
-    def _future_refs(self, lookahead: Optional[int]) -> Tuple[ConfigId, ...]:
-        """Reference string after the head, window-limited unless ``None``.
+        # Window end: first application beyond the lookahead limit or not
+        # yet arrived.  All three drivers (dispatch pointer, current app,
+        # clock) are monotone, so the boundary only ever moves forward.
+        limit = self._current_app + self._lookahead + 1
+        n_apps = len(self.apps)
+        if limit > n_apps:
+            limit = n_apps
+        end_app = self._win_end_app
+        arrivals = self._arrivals
+        clock = self.clock
+        while end_app < limit and arrivals[end_app] <= clock:
+            end_app += 1
+        self._win_end_app = end_app
+        end = offsets[end_app]
 
-        Includes the not-yet-dispatched tasks of the current application
-        (they are needed soonest) followed by the applications within the
-        lookahead window, in reconfiguration-sequence order.
-        """
-        refs: List[ConfigId] = []
-        app_idx = self._dispatch_app
-        pos = self._dispatch_pos + 1  # skip the head itself
-        limit = (
-            len(self.apps)
-            if lookahead is None
-            else min(len(self.apps), self._current_app + lookahead + 1)
-        )
-        while app_idx < limit:
-            app = self.apps[app_idx]
-            if lookahead is not None and app.arrival_time > self.clock:
-                break
-            order = app.rec_order
-            while pos < len(order):
-                refs.append(app.instances[order[pos]].config)
-                pos += 1
-            app_idx += 1
-            pos = 0
-        return tuple(refs)
+        # Slide the reference-count window to [start, end).
+        counts = self._win_counts
+        cids = compiled.flat_cids
+        add = self._win_add
+        while add < end:
+            counts[cids[add]] += 1
+            add += 1
+        self._win_add = add
+        rem = self._win_rem
+        stop = start if start < add else add
+        while rem < stop:
+            counts[cids[rem]] -= 1
+            rem += 1
+        self._win_rem = rem
 
-
-def _max_concurrency(graph: TaskGraph) -> int:
-    """Max simultaneously-executing tasks of the zero-latency schedule."""
-    start = graph.asap_start_times()
-    events: List[Tuple[int, int]] = []
-    for nid in graph.node_ids:
-        s = start[nid]
-        events.append((s, 1))
-        events.append((s + graph.task(nid).exec_time, -1))
-    events.sort()
-    best = cur = 0
-    for _, delta in events:
-        cur += delta
-        best = max(best, cur)
-    return best
+        mob = self._mobility_by_graph[compiled.app_graph[da]]
+        ctx = self._ctx
+        ctx.now = clock
+        ctx.incoming = instance
+        ctx.candidates = candidates
+        future = self._future_view
+        future._start = start
+        future._stop = end
+        ctx.future_refs = future
+        if self._provide_oracle:
+            oracle = self._oracle_view
+            oracle._start = start
+            oracle._stop = len(compiled.flat_configs)
+            ctx.oracle_refs = oracle
+        else:
+            ctx.oracle_refs = None
+        ctx.mobility = 0 if mob is None else mob[dp]
+        ctx.skipped_events = self.skipped_events.setdefault(da, 0)
+        return ctx

@@ -22,6 +22,7 @@ from repro.sim.interface import Decision, DecisionContext, ReplacementAdvisor
 from repro.sim.manager import ExecutionManager, MobilityTables
 from repro.sim.semantics import ManagerSemantics
 from repro.sim.tracing import TraceMode, TraceSink, TraceView
+from repro.workloads.compiled import CompiledWorkload
 
 
 class _FirstCandidateAdvisor(ReplacementAdvisor):
@@ -116,6 +117,7 @@ def run_simulation(
     trace: TraceMode = "full",
     extra_sinks: Sequence[TraceSink] = (),
     device: Optional[DeviceModel] = None,
+    compiled: Optional[CompiledWorkload] = None,
 ) -> SimulationResult:
     """Run the sequence and compute headline metrics (engine entry point).
 
@@ -134,7 +136,16 @@ def run_simulation(
     (default), ``"aggregate"`` O(1) counters, or a JSONL output path —
     and ``extra_sinks`` attaches additional event observers; see
     :mod:`repro.sim.tracing`.
+
+    ``compiled`` is the workload's
+    :class:`~repro.workloads.compiled.CompiledWorkload` — the
+    run-independent pre-processing.  Supply it when running the same
+    sequence repeatedly (:class:`repro.session.Session` does this
+    automatically through its artifact cache); omitted, it is rebuilt on
+    the fly with identical results.
     """
+    if compiled is None:
+        compiled = CompiledWorkload.compile(graphs)
     manager = ExecutionManager(
         graphs=graphs,
         n_rus=n_rus,
@@ -146,6 +157,7 @@ def run_simulation(
         trace=trace,
         extra_sinks=extra_sinks,
         device=device,
+        compiled=compiled,
     )
     trace_view = manager.run()
     if ideal_makespan_us is None:
@@ -155,6 +167,7 @@ def run_simulation(
             arrival_times=arrival_times,
             semantics=semantics,
             device=device,
+            compiled=compiled,
         )
     return SimulationResult(
         trace=trace_view,
@@ -208,6 +221,7 @@ def ideal_makespan(
     arrival_times: Optional[Sequence[int]] = None,
     semantics: ManagerSemantics = ManagerSemantics(),
     device: Optional[DeviceModel] = None,
+    compiled: Optional[CompiledWorkload] = None,
 ) -> int:
     """Makespan of the zero-reconfiguration-latency run on the same device.
 
@@ -249,6 +263,7 @@ def ideal_makespan(
         arrival_times=arrival_times,
         trace="aggregate",
         device=ideal_device,
+        compiled=compiled,
     )
     return manager.run().makespan
 

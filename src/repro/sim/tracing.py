@@ -37,6 +37,7 @@ import sys
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     IO,
     Iterable,
@@ -220,6 +221,25 @@ _CONFIG_FIELDS = frozenset({"config", "old_config", "new_config", "victim_config
 # ----------------------------------------------------------------------
 # Sink protocol
 # ----------------------------------------------------------------------
+#: Keys of the optional scalar fast path, in documentation order.  Each
+#: maps to a callback taking the matching event class's fields as
+#: positional arguments (``('exec_start', ExecStart)`` →
+#: ``hook(time, ru, config, app_index, end, reused, load_us)``).
+SCALAR_HOOK_KEYS: Tuple[Tuple[str, type], ...] = (
+    ("run_start", RunStart),
+    ("app_activated", AppActivated),
+    ("reconfig_start", ReconfigStart),
+    ("reconfig_end", ReconfigEnd),
+    ("reuse", Reuse),
+    ("eviction", Eviction),
+    ("skip", Skip),
+    ("exec_start", ExecStart),
+    ("exec_end", ExecEnd),
+    ("app_completed", AppCompleted),
+    ("run_end", RunEnd),
+)
+
+
 class TraceSink:
     """Observer of the manager's event stream.
 
@@ -227,6 +247,18 @@ class TraceSink:
     once when the run finishes (or aborts), so file-backed sinks can
     flush.  A sink instance observes a single run — the :class:`RunStart`
     /:class:`RunEnd` pair brackets its lifetime.
+
+    **Scalar fast path.**  A sink may additionally implement
+    :meth:`scalar_hooks`, returning one callback per event kind that
+    takes the event's *fields* as positional arguments instead of an
+    event object.  When a run's only sink provides them, the engine
+    dispatches through the callbacks and never materialises
+    :class:`TraceEvent` objects — the allocation-lean path the built-in
+    :class:`FullTrace` / :class:`AggregateTrace` sinks use.  A ``None``
+    value for a kind means "not interested": the engine skips the
+    dispatch for that kind entirely.  The two paths are observationally
+    identical (pinned by ``tests/test_compiled_equivalence.py``); any
+    run with more than one sink automatically uses event objects.
     """
 
     def on_event(self, event: TraceEvent) -> None:
@@ -234,6 +266,16 @@ class TraceSink:
 
     def close(self) -> None:
         """Release resources; called once after the run (even on error)."""
+
+    def scalar_hooks(self) -> Optional[Dict[str, Optional["Callable"]]]:
+        """Per-kind scalar callbacks, or ``None`` to receive objects.
+
+        Implementations must return a dict covering every key in
+        :data:`SCALAR_HOOK_KEYS` (``None`` values mark ignored kinds)
+        and must behave exactly like :meth:`on_event` fed the
+        corresponding event object.
+        """
+        return None
 
 
 class FullTrace(TraceSink):
@@ -324,6 +366,85 @@ class FullTrace(TraceSink):
         # ReconfigEnd / ExecEnd / AppActivated / RunEnd carry no state the
         # record lists need: starts already embed their scheduled ends.
 
+    # -- scalar fast path (behaviour identical to on_event) --------------
+    def scalar_hooks(self):
+        return {
+            "run_start": self._h_run_start,
+            "app_activated": None,
+            "reconfig_start": self._h_reconfig_start,
+            "reconfig_end": None,
+            "reuse": self._h_reuse,
+            "eviction": self._h_eviction,
+            "skip": self._h_skip,
+            "exec_start": self._h_exec_start,
+            "exec_end": None,
+            "app_completed": self._h_app_completed,
+            "run_end": None,
+        }
+
+    def _h_run_start(self, time, n_rus, reconfig_latency, n_apps, n_controllers):
+        self._trace = Trace(
+            n_rus=n_rus,
+            reconfig_latency=reconfig_latency,
+            n_controllers=n_controllers,
+        )
+
+    def _h_exec_start(self, time, ru, config, app_index, end, reused, load_us):
+        trace = self.trace
+        trace.executions.append(
+            ExecRecord(
+                ru=ru,
+                config=config,
+                app_index=app_index,
+                start=time,
+                end=end,
+                reused=reused,
+            )
+        )
+        trace.no_reuse_baseline_us += load_us
+
+    def _h_reconfig_start(self, time, ru, config, app_index, end, controller):
+        self.trace.reconfigs.append(
+            ReconfigRecord(
+                ru=ru,
+                config=config,
+                app_index=app_index,
+                start=time,
+                end=end,
+                controller=controller,
+            )
+        )
+
+    def _h_reuse(self, time, ru, config, app_index):
+        self.trace.reuses.append(
+            ReuseRecord(ru=ru, config=config, app_index=app_index, time=time)
+        )
+
+    def _h_eviction(self, time, ru, old_config, new_config, app_index):
+        self.trace.evictions.append(
+            EvictionRecord(
+                ru=ru,
+                old_config=old_config,
+                new_config=new_config,
+                app_index=app_index,
+                time=time,
+            )
+        )
+
+    def _h_skip(self, time, app_index, config, victim_config, skipped_events_after):
+        self.trace.skips.append(
+            SkipRecord(
+                app_index=app_index,
+                config=config,
+                victim_config=victim_config,
+                time=time,
+                skipped_events_after=skipped_events_after,
+            )
+        )
+
+    def _h_app_completed(self, time, app_index):
+        self.trace.app_completion_times[app_index] = time
+
 
 class AggregateTrace(TraceSink):
     """Memory-bounded sink: counters + makespan + per-RU busy time.
@@ -390,6 +511,60 @@ class AggregateTrace(TraceSink):
             self.n_controllers = event.n_controllers
             self.n_apps = event.n_apps
             self._busy = {i: 0 for i in range(event.n_rus)}
+
+    # -- scalar fast path (behaviour identical to on_event) --------------
+    def scalar_hooks(self):
+        return {
+            "run_start": self._h_run_start,
+            "app_activated": None,
+            "reconfig_start": self._h_reconfig_start,
+            "reconfig_end": None,
+            "reuse": self._h_reuse,
+            "eviction": self._h_eviction,
+            "skip": self._h_skip,
+            "exec_start": self._h_exec_start,
+            "exec_end": None,
+            "app_completed": self._h_app_completed,
+            "run_end": None,
+        }
+
+    def _h_run_start(self, time, n_rus, reconfig_latency, n_apps, n_controllers):
+        self.n_rus = n_rus
+        self.reconfig_latency = reconfig_latency
+        self.n_controllers = n_controllers
+        self.n_apps = n_apps
+        self._busy = {i: 0 for i in range(n_rus)}
+
+    def _h_exec_start(self, time, ru, config, app_index, end, reused, load_us):
+        self.n_executions += 1
+        if reused:
+            self.n_reused_executions += 1
+        self.no_reuse_baseline_us += load_us
+        try:
+            self._busy[ru] += end - time
+        except KeyError:
+            raise SimulationError(
+                "AggregateTrace has not observed a RunStart yet"
+            ) from None
+        if end > self._makespan:
+            self._makespan = end
+
+    def _h_reconfig_start(self, time, ru, config, app_index, end, controller):
+        self.n_reconfigurations += 1
+        self._total_reconfig_time += end - time
+
+    def _h_reuse(self, time, ru, config, app_index):
+        self.n_reuses += 1
+
+    def _h_eviction(self, time, ru, old_config, new_config, app_index):
+        self.n_evictions += 1
+
+    def _h_skip(self, time, app_index, config, victim_config, skipped_events_after):
+        self.n_skips += 1
+
+    def _h_app_completed(self, time, app_index):
+        self.n_apps_completed += 1
+        self.last_completion_time = time
 
     # -- Trace-compatible read API --------------------------------------
     @property

@@ -8,6 +8,13 @@ from repro.workloads.arrival import (
     saturated_arrivals,
     validate_arrivals,
 )
+from repro.workloads.compiled import (
+    CompiledApp,
+    CompiledWorkload,
+    RefsView,
+    WindowConfigSet,
+    compile_workload,
+)
 from repro.workloads.sequence import (
     Workload,
     bursty_sequence,
@@ -39,6 +46,11 @@ __all__ = [
     "poisson_arrivals",
     "saturated_arrivals",
     "validate_arrivals",
+    "CompiledApp",
+    "CompiledWorkload",
+    "RefsView",
+    "WindowConfigSet",
+    "compile_workload",
     "Workload",
     "bursty_sequence",
     "random_sequence",

@@ -171,10 +171,10 @@ class TestStoreMechanics:
         store.put("ideal", k1, encode_ideal(k1, 1))
         store.put("mobility", k2, encode_mobility_tables(k2, {"G": {1: 0}}))
         info = store.describe()
-        assert info["entries"] == {"mobility": 1, "ideal": 1}
+        assert info["entries"] == {"mobility": 1, "ideal": 1, "compiled": 0}
         assert info["total_entries"] == 2 and info["size_bytes"] > 0
         assert store.clear() == 2
-        assert store.entry_counts() == {"mobility": 0, "ideal": 0}
+        assert store.entry_counts() == {"mobility": 0, "ideal": 0, "compiled": 0}
 
 
 # ----------------------------------------------------------------------
@@ -368,7 +368,8 @@ class TestCacheCli:
         ) == 0
         assert "0 mobility computations, 0 ideal makespans" in capsys.readouterr().out
         assert main(["cache", "clear", "--store", root]) == 0
-        assert "removed 2 entries" in capsys.readouterr().out
+        # mobility + ideal + the compiled workload entry
+        assert "removed 3 entries" in capsys.readouterr().out
 
     def test_unknown_action_fails(self, tmp_path, capsys):
         from repro.cli import main

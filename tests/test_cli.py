@@ -141,3 +141,30 @@ class TestCommands:
         fig9a_rows = [l for l in fig9a_out.splitlines() if l.startswith("| L")]
         sweep_rows = [l for l in sweep_out.splitlines() if l.startswith("| L")]
         assert fig9a_rows == sweep_rows
+
+
+class TestProfileFlag:
+    def test_run_with_profile_prints_top_functions(self, capsys):
+        assert main(
+            ["run", "--scenario", "quick", "--length", "10", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top 25 functions by cumulative time" in out
+        assert "cumulative" in out  # pstats header
+
+    def test_run_with_profile_dumps_stats_file(self, capsys, tmp_path):
+        import pstats
+
+        path = tmp_path / "run.prof"
+        assert main(
+            ["run", "--scenario", "quick", "--length", "10",
+             "--profile", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"profile stats dumped to {path}" in out
+        stats = pstats.Stats(str(path))  # parses as valid pstats
+        assert stats.total_calls > 0
+
+    def test_profile_rejected_outside_run(self, capsys):
+        assert main(["fig2", "--profile"]) == 2
+        assert "--profile" in capsys.readouterr().err

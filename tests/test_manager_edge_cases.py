@@ -266,3 +266,81 @@ class TestDegenerateDevices:
         trace = run([g, g], n_rus=10)
         assert not trace.evictions
         assert trace.n_reused_executions == 3
+
+
+class TestIdleSkipStallRecovery:
+    """Direct pinning of ``_break_idle_skip_stall`` (previously reachable
+    only through multi-controller scenarios and pinned indirectly)."""
+
+    @staticmethod
+    def _bounded_skipper(n_skips):
+        from repro.sim.interface import Decision, ReplacementAdvisor
+
+        class BoundedSkipper(ReplacementAdvisor):
+            """Skips until ``skipped_events`` reaches ``n_skips``."""
+
+            def decide(self, ctx):
+                if ctx.skipped_events < n_skips:
+                    return Decision.skip_event(ctx.candidates[0].index)
+                return Decision.load(ctx.candidates[0].index)
+
+        return BoundedSkipper()
+
+    @staticmethod
+    def _single_task_apps():
+        # Three single-task apps on 2 RUs: the third app's load needs an
+        # eviction decided when the queue is already empty (nothing in
+        # flight), which is exactly the idle-skip stall.
+        return [
+            chain_graph("A", [ms(1)]),
+            chain_graph("B", [ms(1)]),
+            chain_graph("C", [ms(1)]),
+        ]
+
+    def test_bounded_skipper_recovers_and_completes(self):
+        trace = run(
+            self._single_task_apps(),
+            n_rus=2,
+            advisor=self._bounded_skipper(2),
+        )
+        # Both skips were emitted and counted before the load proceeded.
+        assert trace.n_skips == 2
+        assert [s.skipped_events_after for s in trace.skips] == [1, 2]
+        assert trace.n_executions == 3
+        # The delayed load still happened (one eviction for app C).
+        assert len(trace.evictions) == 1
+
+    def test_unbounded_skipper_raises_instead_of_hanging(self):
+        from repro.exceptions import SimulationError
+        from repro.sim.interface import Decision, ReplacementAdvisor
+
+        class AlwaysSkip(ReplacementAdvisor):
+            def decide(self, ctx):
+                return Decision.skip_event(ctx.candidates[0].index)
+
+        with pytest.raises(SimulationError, match="keeps skipping"):
+            run(self._single_task_apps(), n_rus=2, advisor=AlwaysSkip())
+
+    def test_recovery_preserves_event_stream_equivalence(self):
+        # The recovery path emits ordinary Skip events: a recorded stream
+        # through the object path matches the scalar-path trace counters.
+        from repro.sim.tracing import TraceSink
+
+        class Recorder(TraceSink):
+            def __init__(self):
+                self.events = []
+
+            def on_event(self, event):
+                self.events.append(event)
+
+        graphs = self._single_task_apps()
+        scalar = run(graphs, n_rus=2, advisor=self._bounded_skipper(1))
+        recorder = Recorder()
+        object_path = run(
+            graphs,
+            n_rus=2,
+            advisor=self._bounded_skipper(1),
+            extra_sinks=(recorder,),
+        )
+        assert scalar.summary() == object_path.summary()
+        assert sum(1 for e in recorder.events if type(e).__name__ == "Skip") == 1

@@ -349,3 +349,81 @@ class TestArrivalAwareRuns:
         # book idle time as reconfiguration cost.
         assert spaced.makespan_us > saturated.makespan_us
         assert spaced.ideal_makespan_us > saturated.ideal_makespan_us
+
+
+class TestCompiledWorkloadIntegration:
+    """PR-5: compile-once run setup and executor reuse."""
+
+    def test_compiled_computed_once_per_session(self, session):
+        session.run(lru_spec())
+        session.run(local_lfd_spec(1))
+        stats = session.cache.compiled_stats
+        assert stats.computations == 1
+        # The session memoizes the object itself; repeated access is free.
+        assert session.compiled() is session.compiled()
+        assert stats.computations == 1
+
+    def test_compiled_shared_from_store_across_sessions(self, tmp_path, workload):
+        root = tmp_path / "store"
+        with Session(Device(4), workload, store=str(root)) as cold:
+            cold.run(lru_spec())
+            assert cold.cache.compiled_stats.computations == 1
+        with Session(Device(4), workload, store=str(root)) as warm:
+            warm.run(lru_spec())
+            stats = warm.cache.compiled_stats
+            assert stats.disk_hits == 1
+            assert stats.computations == 0
+
+    def test_compiled_run_equals_uncompiled_engine(self, session, workload):
+        spec = local_lfd_spec(1)
+        via_session = session.run(spec)
+        direct = run_simulation(
+            workload.apps,
+            n_rus=workload.n_rus,
+            reconfig_latency=workload.reconfig_latency,
+            advisor=spec.make_advisor(),
+            semantics=spec.make_semantics(),
+        )
+        assert via_session.summary() == direct.summary()
+
+    def test_executor_reused_across_sweeps(self, session):
+        specs = [lru_spec(), local_lfd_spec(1)]
+        first = session.sweep(specs, ru_counts=(4, 5), parallel=2)
+        pool = session._pool
+        assert pool is not None
+        second = session.sweep(specs, ru_counts=(4, 5), parallel=2)
+        assert session._pool is pool  # same executor, workers kept warm
+        for a, b in zip(first.records, second.records):
+            assert a == b
+        session.close()
+        assert session._pool is None
+
+    def test_executor_recreated_on_different_parallelism(self, session):
+        specs = [lru_spec(), local_lfd_spec(1)]
+        session.sweep(specs, ru_counts=(4, 5), parallel=2)
+        pool = session._pool
+        session.sweep(specs, ru_counts=(4, 5, 6), parallel=3)
+        assert session._pool is not pool
+        session.close()
+
+    def test_close_is_idempotent_and_context_manager(self, workload):
+        with Session(Device(4), workload) as s:
+            s.sweep([lru_spec()], ru_counts=(4, 5), parallel=2)
+        s.close()  # second close: no-op
+        assert s._pool is None
+
+    def test_parallel_equals_sequential_with_warm_pool(self, session):
+        specs = [lru_spec(), local_lfd_spec(1, skip_events=True)]
+        seq = session.sweep(specs, ru_counts=(4, 6), parallel=1)
+        par = session.sweep(specs, ru_counts=(4, 6), parallel=2)
+        par2 = session.sweep(specs, ru_counts=(4, 6), parallel=2)
+        assert seq.records == par.records == par2.records
+
+    def test_cache_warm_covers_compiled_kind(self, tmp_path, workload):
+        cache = ArtifactCache(store=None)
+        cache.warm(workload, ru_counts=(4,))
+        assert cache.compiled_stats.computations == 1
+        # warm again: everything served from memory
+        cache.warm(workload, ru_counts=(4,))
+        assert cache.compiled_stats.computations == 1
+        assert cache.stats_summary()["compiled"]["memory_hits"] >= 1

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import EventKind, EventQueue
 from repro.sim.simtime import fmt_ms, ms, to_ms
+
+
+def _payload(event):
+    """Payload slot of a popped ``(time, kind, seq, payload)`` tuple."""
+    return event[3]
 
 
 class TestMs:
@@ -32,7 +37,7 @@ class TestEventQueue:
         q.push(30, EventKind.END_OF_EXECUTION, "c")
         q.push(10, EventKind.END_OF_EXECUTION, "a")
         q.push(20, EventKind.END_OF_EXECUTION, "b")
-        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+        assert [_payload(q.pop()) for _ in range(3)] == ["a", "b", "c"]
 
     def test_same_time_kind_priority(self):
         # End-of-execution processes before end-of-reconfiguration.
@@ -40,18 +45,53 @@ class TestEventQueue:
         q.push(10, EventKind.END_OF_RECONFIGURATION, "rec")
         q.push(10, EventKind.END_OF_EXECUTION, "exec")
         q.push(10, EventKind.APP_ARRIVAL, "arrival")
-        assert [q.pop().payload for _ in range(3)] == ["exec", "rec", "arrival"]
+        assert [_payload(q.pop()) for _ in range(3)] == ["exec", "rec", "arrival"]
+
+    def test_kind_priority_is_independent_of_push_order(self):
+        # Same events pushed in every order: identical pop sequence.
+        import itertools
+
+        events = [
+            (10, EventKind.APP_ARRIVAL, "arrival"),
+            (10, EventKind.END_OF_EXECUTION, "exec"),
+            (10, EventKind.END_OF_RECONFIGURATION, "rec"),
+        ]
+        for perm in itertools.permutations(events):
+            q = EventQueue()
+            for time, kind, payload in perm:
+                q.push(time, kind, payload)
+            assert [_payload(q.pop()) for _ in range(3)] == [
+                "exec",
+                "rec",
+                "arrival",
+            ]
 
     def test_fifo_within_same_time_and_kind(self):
         q = EventQueue()
         for i in range(5):
             q.push(7, EventKind.END_OF_EXECUTION, i)
-        assert [q.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert [_payload(q.pop()) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_insertion_order_tiebreak_survives_interleaved_pops(self):
+        q = EventQueue()
+        q.push(7, EventKind.END_OF_EXECUTION, "first")
+        q.push(3, EventKind.END_OF_EXECUTION, "early")
+        assert _payload(q.pop()) == "early"
+        q.push(7, EventKind.END_OF_EXECUTION, "second")
+        q.push(7, EventKind.END_OF_EXECUTION, "third")
+        assert [_payload(q.pop()) for _ in range(3)] == ["first", "second", "third"]
+
+    def test_event_tuples_are_plain_tuples(self):
+        q = EventQueue()
+        event = q.push(5, EventKind.END_OF_RECONFIGURATION, ("ru", "inst"))
+        assert type(event) is tuple
+        assert event == (5, 1, 0, ("ru", "inst"))
+        assert q.pop() == event
 
     def test_peek_does_not_remove(self):
         q = EventQueue()
         q.push(1, EventKind.END_OF_EXECUTION, "x")
-        assert q.peek().payload == "x"
+        assert _payload(q.peek()) == "x"
         assert len(q) == 1
 
     def test_peek_empty_returns_none(self):
@@ -65,14 +105,18 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue().push(-1, EventKind.END_OF_EXECUTION, None)
 
+    def test_backwards_time_rejected(self):
+        # Scheduling before the latest popped event would rewind the
+        # simulation clock; the queue refuses at push time.
+        q = EventQueue()
+        q.push(100, EventKind.END_OF_EXECUTION, "x")
+        q.pop()
+        q.push(100, EventKind.END_OF_EXECUTION, "same-time-ok")
+        with pytest.raises(ValueError, match="backwards"):
+            q.push(99, EventKind.END_OF_EXECUTION, "past")
+
     def test_bool_and_len(self):
         q = EventQueue()
         assert not q
         q.push(0, EventKind.APP_ARRIVAL, 0)
         assert q and len(q) == 1
-
-
-class TestEvent:
-    def test_sort_key(self):
-        e = Event(time=5, kind=EventKind.END_OF_RECONFIGURATION, payload=None, seq=2)
-        assert e.sort_key() == (5, 1, 2)
