@@ -27,22 +27,31 @@ across invocations through the on-disk store::
     repro cache stats
     repro cache clear
 
-``--store DIR`` attaches the store to the ``run``, ``sweep``,
+``--store DIR`` attaches the store to the ``run``, ``sweep``, ``serve``,
 ``fig9a``/``fig9b``/``fig9c`` and ``ablation`` commands; the ``cache``
 subcommands default to ``$REPRO_CACHE_DIR`` (else
 ``~/.cache/repro/artifacts``).
+
+The simulation service (see ``docs/service.md``)::
+
+    repro serve --port 8765 --workers 8 --store ~/.cache/repro/artifacts
+    repro submit --scenario bursty --policy local-lfd --window 2
+    repro submit --sweep --policies local-lfd lru --rus 4 6 8
+    repro submit --scenario quick --stream > events.jsonl
+    repro jobs                       # list every job on the daemon
+    repro jobs j000001-deadbeef      # one job's status/progress
+    repro jobs j000001-deadbeef --cancel
 """
 
 from __future__ import annotations
 
 import argparse
-import functools
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.policies.registry import available_policies, make_policy
-from repro.core.policy_spec import PolicySpec
+from repro.core.policies.registry import available_policies
+from repro.core.policy_spec import named_policy_spec
 from repro.hw import (
     available_device_presets,
     make_device,
@@ -75,6 +84,9 @@ COMMANDS = (
     "sweep",
     "scenarios",
     "cache",
+    "serve",
+    "submit",
+    "jobs",
     "all",
 )
 
@@ -83,7 +95,20 @@ CACHE_ACTIONS = ("stats", "clear", "warm")
 
 #: Commands that honour ``--store`` (others reject it rather than
 #: silently running without the disk tier).
-STORE_COMMANDS = ("run", "sweep", "cache", "ablation", "fig9a", "fig9b", "fig9c")
+STORE_COMMANDS = (
+    "run",
+    "sweep",
+    "cache",
+    "serve",
+    "ablation",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+)
+
+#: Commands whose positional ``subcommand`` slot is meaningful
+#: (``cache stats|clear|warm``, ``jobs <id>``).
+SUBCOMMAND_COMMANDS = ("cache", "jobs")
 
 #: Named spec sets the ``sweep`` command can run.
 SWEEP_PANELS = {
@@ -110,7 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
         "subcommand",
         nargs="?",
         default=None,
-        help="action for the 'cache' command: stats | clear | warm",
+        help=(
+            "action for the 'cache' command (stats | clear | warm) or a "
+            "job id for the 'jobs' command"
+        ),
     )
     parser.add_argument(
         "--store",
@@ -265,6 +293,97 @@ def build_parser() -> argparse.ArgumentParser:
             "stats there (pstats format, e.g. for snakeviz)"
         ),
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="daemon address for serve/submit/jobs (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="daemon port for serve/submit/jobs (default: 8765; serve: 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation worker threads for the 'serve' command (default: 4)",
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "per-client submissions/second for the 'serve' command "
+            "(default: 100; 0 disables quotas)"
+        ),
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=int,
+        default=None,
+        metavar="B",
+        help="per-client burst capacity for the 'serve' command (default: 500)",
+    )
+    parser.add_argument(
+        "--client-id",
+        default=None,
+        help="quota identity sent as X-Repro-Client (submit/jobs commands)",
+    )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="record a live event stream for the submitted job ('submit' only)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "stream the submitted job's JSONL events to stdout as they "
+            "happen (implies --events; 'submit' only)"
+        ),
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting ('submit' only)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="submit a sweep job (policies x --rus) instead of a single run",
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        choices=available_policies(),
+        default=None,
+        metavar="POLICY",
+        help="policy axis for 'submit --sweep' (default: --policy)",
+    )
+    parser.add_argument(
+        "--cancel",
+        action="store_true",
+        help="request cancellation of the given job ('jobs ID --cancel')",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long 'submit' waits for the job to finish (default: 600)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable JSON output (cache stats, submit, jobs "
+            "commands)"
+        ),
+    )
     return parser
 
 
@@ -307,22 +426,25 @@ class _ProgressHook(SessionHooks):
 
 def _run_single(args: argparse.Namespace) -> int:
     """The ``run`` subcommand: one policy, one scenario, one trace mode."""
-    label = args.policy
-    if args.policy == "local-lfd":
-        label = f"Local LFD ({args.window})"
-    if args.skip_events:
-        label += " + Skip"
-    spec = PolicySpec(
-        label=label,
-        # partial(make_policy, name) keeps the spec picklable.
-        policy_factory=functools.partial(make_policy, args.policy),
-        lookahead_apps=args.window,
+    spec = named_policy_spec(
+        args.policy,
+        window=args.window,
         oracle=args.oracle,
         skip_events=args.skip_events,
     )
-    # --trace-out is unambiguously a path: wrap it in Path so the
-    # mode-vs-path typo heuristic never rejects e.g. 'trace.log'.
-    trace_mode = Path(args.trace_out) if args.trace_out else args.trace_mode
+    label = spec.label
+    # --trace-out is unambiguously a path (or '-' for stdout): wrap real
+    # paths in Path so the mode-vs-path typo heuristic never rejects
+    # e.g. 'trace.log'.
+    if args.trace_out == "-":
+        trace_mode: object = "-"
+    elif args.trace_out:
+        trace_mode = Path(args.trace_out)
+    else:
+        trace_mode = args.trace_mode
+    # With events going to stdout, the human-readable summary moves to
+    # stderr so the JSONL stream stays machine-parseable.
+    out = sys.stderr if args.trace_out == "-" else sys.stdout
     n_rus = None
     if args.rus != list(fig9.PAPER_RU_COUNTS):  # user passed --rus
         if len(args.rus) != 1:
@@ -361,11 +483,12 @@ def _run_single(args: argparse.Namespace) -> int:
         result = session.run(spec, n_rus=n_rus, device=device_override)
     if n_rus is not None:
         model = model.with_n_rus(n_rus)
-    print(f"{label} on {session.workload.name!r} ({model.describe()}):")
+    print(f"{label} on {session.workload.name!r} ({model.describe()}):", file=out)
     for key, value in result.summary().items():
-        print(f"  {key:>24}: {value}")
+        print(f"  {key:>24}: {value}", file=out)
     if args.trace_out:
-        print(f"(event log streamed to {args.trace_out})")
+        target = "stdout" if args.trace_out == "-" else args.trace_out
+        print(f"(event log streamed to {target})", file=out)
     if args.profile is not None:
         stats = pstats.Stats(profiler)
         if args.profile != "-":
@@ -419,6 +542,11 @@ def _run_cache(args: argparse.Namespace) -> int:
     store = _store_from_args(args, default=True)
     if action == "stats":
         info = store.describe()
+        if args.json:
+            import json
+
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
         print(f"artifact store: {info['root']} (layout {info['layout']})")
         for kind, count in info["entries"].items():
             print(f"  {kind:>10}: {count} entries")
@@ -444,14 +572,206 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run the simulation-as-a-service daemon."""
+    import asyncio
+    import signal
+
+    from repro.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        store=_store_from_args(args),
+        workers=args.workers if args.workers is not None else 4,
+        quota_rate=args.quota_rate if args.quota_rate is not None else 100.0,
+        quota_burst=args.quota_burst if args.quota_burst is not None else 500,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        where = server.store.root if server.store is not None else "memory-only"
+        print(
+            f"repro serve listening on http://{server.host}:{server.port} "
+            f"({server.workers} workers, store: {where})",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Explicit handlers (not the interpreter default): a daemon
+        # backgrounded by a non-interactive shell inherits SIGINT as
+        # SIG_IGN, which Python preserves — `kill -INT` would otherwise
+        # never reach us.  SIGTERM gets the same graceful path.
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platform without loop signal support
+        try:
+            await stop.wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """Build the job-spec payload the daemon expects from CLI flags."""
+    info = scenario_info(args.scenario)
+    kwargs = {"length": args.length}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    kwargs = {k: v for k, v in kwargs.items() if k in info.parameters}
+    spec: dict = {
+        "scenario": args.scenario,
+        "scenario_kwargs": kwargs,
+        "window": args.window,
+        "oracle": args.oracle,
+        "skip_events": args.skip_events,
+    }
+    if args.sweep:
+        spec["kind"] = "sweep"
+        spec["policies"] = args.policies or [args.policy]
+        spec["rus"] = list(args.rus)
+    else:
+        spec["kind"] = "run"
+        spec["policy"] = args.policy
+        if args.events or args.stream:
+            spec["events"] = True
+        if args.rus != list(fig9.PAPER_RU_COUNTS):  # user passed --rus
+            if len(args.rus) != 1:
+                raise SystemExit(
+                    "error: a run job uses one device; give a single --rus "
+                    "value (or --sweep)"
+                )
+            spec["n_rus"] = args.rus[0]
+    return spec
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """The ``submit`` command: send a job to a running daemon."""
+    import json
+
+    from repro.client import RemoteJobError, ReproClient
+
+    spec = _submit_spec(args)
+    client = ReproClient(args.host, args.port, client_id=args.client_id)
+    try:
+        job_id = client.submit(spec)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        print(f"submitted {job_id}", file=sys.stderr)
+        if args.stream:
+            out = sys.stdout.buffer
+            for line in client.stream_lines(job_id):
+                out.write(line)
+            out.flush()
+        status = client.wait(job_id, timeout=args.timeout)
+        if status["state"] != "done":
+            print(
+                f"job {job_id} {status['state']}: "
+                f"{status.get('error', 'no result')}",
+                file=sys.stderr,
+            )
+            return 1
+        result = client.result(job_id)
+        out_file = sys.stderr if args.stream else sys.stdout
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True), file=out_file)
+        elif result["kind"] == "run":
+            print(f"{result['policy']} (remote {args.scenario}):", file=out_file)
+            for key, value in result["summary"].items():
+                print(f"  {key:>24}: {value}", file=out_file)
+        else:
+            for record in result["records"]:
+                print(
+                    f"  {record['policy_label']:<24} RUs={record['n_rus']:<3} "
+                    f"reuse={record['reuse_pct']:6.2f}%  "
+                    f"makespan={record['makespan_ms']:.1f}ms",
+                    file=out_file,
+                )
+        return 0
+    except RemoteJobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    """The ``jobs`` command: list jobs, inspect one, or cancel one."""
+    import json
+
+    from repro.client import RemoteJobError, ReproClient
+
+    client = ReproClient(args.host, args.port, client_id=args.client_id)
+    try:
+        if args.subcommand is None:
+            jobs = client.jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True))
+                return 0
+            if not jobs:
+                print("(no jobs)")
+                return 0
+            for job in jobs:
+                progress = job["progress"]
+                print(
+                    f"  {job['id']}  {job['state']:<9} {job['kind']:<5} "
+                    f"{job['scenario']:<16} "
+                    f"[{progress['done']}/{progress['total']}]"
+                )
+            return 0
+        status = (
+            client.cancel(args.subcommand)
+            if args.cancel
+            else client.status(args.subcommand)
+        )
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            for key, value in status.items():
+                print(f"  {key:>18}: {value}")
+        return 0
+    except RemoteJobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `repro run --trace-out - |
+        # head`): the Unix convention is silent success.  Point stdout
+        # at /dev/null so the interpreter's exit-time flush stays quiet.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
 
-    if args.subcommand is not None and command != "cache":
+    if args.subcommand is not None and command not in SUBCOMMAND_COMMANDS:
         print(
             f"error: unexpected argument {args.subcommand!r} after "
-            f"{command!r} (only 'cache' takes a subcommand)",
+            f"{command!r} (only {', '.join(SUBCOMMAND_COMMANDS)} take one)",
             file=sys.stderr,
         )
         return 2
@@ -462,15 +782,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    for flag, value in (
-        ("--device", args.device),
-        ("--latency-model", args.latency_model),
-        ("--controllers", args.controllers),
-        ("--profile", args.profile),
+    for flag, value, allowed in (
+        ("--device", args.device, ("run",)),
+        ("--latency-model", args.latency_model, ("run",)),
+        ("--controllers", args.controllers, ("run",)),
+        ("--profile", args.profile, ("run",)),
+        ("--workers", args.workers, ("serve",)),
+        ("--quota-rate", args.quota_rate, ("serve",)),
+        ("--quota-burst", args.quota_burst, ("serve",)),
+        ("--client-id", args.client_id, ("submit", "jobs")),
+        ("--events", args.events or None, ("submit",)),
+        ("--stream", args.stream or None, ("submit",)),
+        ("--no-wait", args.no_wait or None, ("submit",)),
+        ("--sweep", args.sweep or None, ("submit",)),
+        ("--policies", args.policies, ("submit",)),
+        ("--cancel", args.cancel or None, ("jobs",)),
+        ("--json", args.json or None, ("cache", "submit", "jobs")),
     ):
-        if value is not None and command != "run":
+        if value is not None and command not in allowed:
+            names = "/".join(f"'{name}'" for name in allowed)
+            plural = "commands" if len(allowed) > 1 else "command"
             print(
-                f"error: {flag} is only supported by the 'run' command",
+                f"error: {flag} is only supported by the {names} {plural}",
                 file=sys.stderr,
             )
             return 2
@@ -517,6 +850,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if command == "cache":
         return _run_cache(args)
+    if command == "serve":
+        return _run_serve(args)
+    if command == "submit":
+        return _run_submit(args)
+    if command == "jobs":
+        return _run_jobs(args)
     if command == "scenarios":
         from repro.util.tables import TextTable
 

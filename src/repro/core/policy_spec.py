@@ -81,6 +81,39 @@ class PolicySpec:
         return replace(self, label=label)
 
 
+def named_policy_spec(
+    policy: str,
+    window: int = 1,
+    oracle: bool = False,
+    skip_events: bool = False,
+) -> PolicySpec:
+    """A :class:`PolicySpec` for a registry policy name plus run knobs.
+
+    This is the single place a *textual* policy selection (CLI flags, a
+    ``repro serve`` job spec) becomes a spec: the label convention, the
+    picklable ``partial(make_policy, name)`` factory and the knob wiring
+    live here so every entry point produces identical cells.  Unknown
+    names raise ``PolicyError`` from the registry.
+    """
+    import functools
+
+    from repro.core.policies.registry import make_policy
+
+    make_policy(policy)  # validate the name eagerly (and discard)
+    label = policy
+    if policy == "local-lfd":
+        label = f"Local LFD ({window})"
+    if skip_events:
+        label += " + Skip"
+    return PolicySpec(
+        label=label,
+        policy_factory=functools.partial(make_policy, policy),
+        lookahead_apps=window,
+        oracle=oracle,
+        skip_events=skip_events,
+    )
+
+
 # ----------------------------------------------------------------------
 # The paper's canonical lines
 # ----------------------------------------------------------------------

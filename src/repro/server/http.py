@@ -1,0 +1,191 @@
+"""Minimal HTTP/1.1 over asyncio streams (stdlib only).
+
+The daemon speaks just enough HTTP for its JSON API: request-line +
+headers + ``Content-Length`` bodies in, fixed-length JSON responses and
+chunked event streams out, with keep-alive connections.  Hand-rolled on
+:func:`asyncio.start_server` because the whole point of ``repro serve``
+is to add no runtime dependencies — and the subset below is small,
+bounded (header/body size limits) and fully covered by the service
+tests.
+
+Not a general web server: no TLS, no compression, no multipart, no
+pipelining guarantees beyond sequential request/response per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+#: Upper bounds that keep one misbehaving client from ballooning memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(ReproError):
+    """Malformed or over-limit HTTP request; ``status`` is the reply code."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: Dict[str, List[str]] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.params.get(name)
+        return values[0] if values else default
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises :class:`ProtocolError`)."""
+        if not self.body:
+            raise ProtocolError("request body is empty; expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` on clean EOF (client closed keep-alive)."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request line too long", status=413) from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long", status=413)
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            raw = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError("truncated request headers") from None
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise ProtocolError("request headers too large", status=413)
+        stripped = raw.strip()
+        if not stripped:
+            break
+        name, sep, value = stripped.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length {length!r}") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("truncated request body") from None
+
+    path, _, query = target.partition("?")
+    params = urllib.parse.parse_qs(query, keep_blank_values=True)
+    return Request(
+        method=method.upper(),
+        path=urllib.parse.unquote(path),
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    """A complete fixed-length response, ready to write."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    body = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+def stream_head(status: int = 200, content_type: str = "application/x-ndjson") -> bytes:
+    """Response head opening a chunked (live) stream; connection closes after."""
+    reason = REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+def chunk(data: bytes) -> bytes:
+    """One chunked-transfer-encoding chunk (callers must not pass b'')."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+#: Terminates a chunked stream.
+LAST_CHUNK = b"0\r\n\r\n"

@@ -37,7 +37,8 @@ Example::
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import threading
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -606,8 +607,11 @@ class Session:
         self._compiled_obj: Optional[CompiledWorkload] = None
         # Worker pool reused across consecutive parallel sweeps (the
         # compiled workload ships once per worker, not once per sweep).
+        # Guarded by a lock: a daemon shutdown path may close() the
+        # session from another thread while a sweep is in flight.
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
+        self._pool_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
     def compiled(self) -> CompiledWorkload:
@@ -619,15 +623,23 @@ class Session:
         return self._compiled_obj
 
     def close(self) -> None:
-        """Shut down the reusable worker pool (idempotent).
+        """Shut down the reusable worker pool (idempotent, thread-safe).
 
         Sessions are usable without ever calling this — the pool also
         shuts down when the session is garbage-collected or the process
         exits — but long-lived programs that are done sweeping should
         release the workers eagerly.  ``with Session(...) as s:`` does it
         automatically.
+
+        Safe to call any number of times, from any thread, including
+        concurrently with an in-flight parallel sweep (the daemon
+        shutdown path): cells already submitted run to completion and the
+        sweep either finishes normally or raises a clean
+        :class:`ExperimentError` — never a deadlock or an interpreter
+        ``RuntimeError``.
         """
-        pool, self._pool, self._pool_workers = self._pool, None, 0
+        with self._pool_lock:
+            pool, self._pool, self._pool_workers = self._pool, None, 0
         if pool is not None:
             pool.shutdown()
 
@@ -646,16 +658,22 @@ class Session:
     def _get_pool(self, workers: int) -> ProcessPoolExecutor:
         """A process pool with exactly ``workers`` workers, reused when the
         previous batch asked for the same parallelism."""
-        if self._pool is not None and self._pool_workers == workers:
-            return self._pool
-        self.close()
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self._apps, self.compiled()),
-        )
-        self._pool_workers = workers
-        return self._pool
+        compiled = self.compiled()  # outside the lock: may compute
+        stale: Optional[ProcessPoolExecutor] = None
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers == workers:
+                return self._pool
+            stale, self._pool, self._pool_workers = self._pool, None, 0
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self._apps, compiled),
+            )
+            self._pool = pool
+            self._pool_workers = workers
+        if stale is not None:
+            stale.shutdown()
+        return pool
 
     # -- hook fan-out ---------------------------------------------------
     def _emit(self, method: str, *args) -> None:
@@ -977,16 +995,24 @@ class Session:
             future_to_index = {}
             for i, (cell, (mobility, ideal)) in enumerate(zip(cells, artifacts)):
                 self._emit("on_run_start", cell)
-                future = pool.submit(
-                    _run_cell_in_worker,
-                    cell.spec,
-                    cell.n_rus,
-                    cell.reconfig_latency,
-                    mobility,
-                    ideal,
-                    trace_mode,
-                    cell.device,
-                )
+                try:
+                    future = pool.submit(
+                        _run_cell_in_worker,
+                        cell.spec,
+                        cell.n_rus,
+                        cell.reconfig_latency,
+                        mobility,
+                        ideal,
+                        trace_mode,
+                        cell.device,
+                    )
+                except RuntimeError as exc:
+                    # close() raced this sweep and shut the pool down —
+                    # surface it as a library error, not an interpreter one.
+                    raise ExperimentError(
+                        f"session closed while a parallel sweep was in flight "
+                        f"({exc})"
+                    ) from None
                 future_to_index[future] = i
             done_count = 0
             pending = set(future_to_index)
@@ -994,7 +1020,13 @@ class Session:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
                     i = future_to_index[future]
-                    records[i] = future.result()
+                    try:
+                        records[i] = future.result()
+                    except CancelledError:
+                        raise ExperimentError(
+                            "session closed while a parallel sweep was in "
+                            "flight (pending cells cancelled)"
+                        ) from None
                     done_count += 1
                     self._emit("on_run_end", cells[i], records[i])
                     self._emit("on_sweep_progress", done_count, len(cells))

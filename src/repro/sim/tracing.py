@@ -32,6 +32,7 @@ derived from it.
 
 from __future__ import annotations
 
+import io
 import json
 import sys
 from dataclasses import asdict, dataclass, fields
@@ -598,30 +599,59 @@ class AggregateTrace(TraceSink):
 
 
 class JsonlTraceWriter(TraceSink):
-    """Streams every event as one JSON object per line to ``path``.
+    """Streams every event as one JSON object per line to ``target``.
 
-    The file is self-describing: each line carries the event type name
-    plus its fields, with :class:`ConfigId` values encoded as
-    ``[graph_name, node_id]`` pairs.  :func:`read_trace_events` inverts
-    the encoding losslessly.
+    ``target`` may be a path, the string ``"-"`` (standard output), or an
+    **already-open stream** — any object with a ``write`` method, text or
+    binary.  Paths are opened (and closed) by the writer; caller-supplied
+    streams are flushed but never closed, so one socket, pipe or
+    ``io.BytesIO`` can outlive many writers.  This is the single JSONL
+    codec in the system: the CLI's ``--trace-out``, the offline event
+    files and the ``repro serve`` network event streams all produce
+    byte-identical lines (one :func:`encode_event_line` + ``"\\n"`` per
+    event), so :func:`read_trace_events` / :func:`trace_from_jsonl`
+    round-trip any of them unchanged.
+
+    Each line carries the event type name plus its fields, with
+    :class:`ConfigId` values encoded as ``[graph_name, node_id]`` pairs.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
-        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+    def __init__(self, target: Union[str, Path, IO]) -> None:
+        self.path: Optional[Path] = None
+        self._owns = False
+        if hasattr(target, "write"):
+            self._fh: Optional[IO] = target
+        elif target == "-":
+            self._fh = sys.stdout
+        else:
+            self.path = Path(target)
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._owns = True
+        # Binary streams (sockets, BytesIO, files opened "wb") get the
+        # same UTF-8 bytes a text stream would produce.
+        self._binary = isinstance(self._fh, (io.RawIOBase, io.BufferedIOBase)) or (
+            "b" in getattr(self._fh, "mode", "")
+        )
         self.n_events = 0
 
     def on_event(self, event: TraceEvent) -> None:
         if self._fh is None:
             raise SimulationError(f"JsonlTraceWriter({self.path}) is closed")
-        self._fh.write(json.dumps(event_to_dict(event), separators=(",", ":")))
-        self._fh.write("\n")
+        line = encode_event_line(event) + "\n"
+        self._fh.write(line.encode("utf-8") if self._binary else line)
         self.n_events += 1
 
     def close(self) -> None:
-        if self._fh is not None:
+        if self._fh is None:
+            return
+        if self._owns:
             self._fh.close()
-            self._fh = None
+        else:
+            try:
+                self._fh.flush()
+            except (ValueError, OSError):  # already-closed caller stream
+                pass
+        self._fh = None
 
 
 # ----------------------------------------------------------------------
@@ -633,6 +663,17 @@ def event_to_dict(event: TraceEvent) -> Dict[str, object]:
     for key, value in asdict(event).items():
         out[key] = list(value) if key in _CONFIG_FIELDS else value
     return out
+
+
+def encode_event_line(event: TraceEvent) -> str:
+    """The canonical JSONL wire encoding of one event (no newline).
+
+    Every producer — :class:`JsonlTraceWriter` and the ``repro serve``
+    network sink — emits exactly this string per event, which is what
+    makes a streamed event capture byte-identical to a local JSONL file
+    of the same run.
+    """
+    return json.dumps(event_to_dict(event), separators=(",", ":"))
 
 
 def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
@@ -652,20 +693,37 @@ def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
         raise SimulationError(f"malformed {name} event: {exc}") from None
 
 
-def read_trace_events(path: Union[str, Path]) -> Iterator[TraceEvent]:
-    """Parse a :class:`JsonlTraceWriter` file back into event objects."""
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise SimulationError(
-                    f"{path}:{lineno}: not valid JSON ({exc})"
-                ) from None
-            yield event_from_dict(payload)
+def read_trace_events(
+    source: Union[str, Path, IO, Iterable[str]]
+) -> Iterator[TraceEvent]:
+    """Parse JSONL event lines back into event objects.
+
+    ``source`` is a file path, an open text stream, or any iterable of
+    JSONL lines (e.g. a list captured from a live ``/jobs/{id}/events``
+    stream) — anything the matching :class:`JsonlTraceWriter` side could
+    have produced.
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as fh:
+            yield from _parse_trace_lines(fh, str(source))
+    else:
+        yield from _parse_trace_lines(source, "<stream>")
+
+
+def _parse_trace_lines(lines: Iterable[str], label: str) -> Iterator[TraceEvent]:
+    for lineno, line in enumerate(lines, start=1):
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"{label}:{lineno}: not valid JSON ({exc})"
+            ) from None
+        yield event_from_dict(payload)
 
 
 def replay_events(
@@ -682,18 +740,24 @@ def replay_events(
     return sinks
 
 
-def trace_from_jsonl(path: Union[str, Path]) -> Trace:
-    """Rebuild the full :class:`Trace` from a JSONL event file."""
-    (sink,) = replay_events(read_trace_events(path), FullTrace())
+def trace_from_jsonl(source: Union[str, Path, IO, Iterable[str]]) -> Trace:
+    """Rebuild the full :class:`Trace` from JSONL events.
+
+    Accepts anything :func:`read_trace_events` does: a file written by
+    :class:`JsonlTraceWriter`, an open stream, or captured lines from a
+    live daemon event stream — all three carry the identical wire format.
+    """
+    (sink,) = replay_events(read_trace_events(source), FullTrace())
     return sink.view()  # type: ignore[union-attr]
 
 
 # ----------------------------------------------------------------------
 # Trace-mode resolution (the ``trace=`` parameter everywhere)
 # ----------------------------------------------------------------------
-#: What callers may pass as a trace mode: ``"full"``, ``"aggregate"``, or
-#: a ``.jsonl`` output path (streamed events + aggregate counters).
-TraceMode = Union[str, Path]
+#: What callers may pass as a trace mode: ``"full"``, ``"aggregate"``, a
+#: ``.jsonl`` output path, ``"-"`` (stdout) or an already-open stream
+#: (streamed events + aggregate counters).
+TraceMode = Union[str, Path, IO]
 
 #: What a resolved run returns as its trace: the classic record lists or
 #: the O(1) aggregate view.  Both expose ``makespan``, ``reuse_rate()``,
@@ -707,14 +771,16 @@ def resolve_trace_mode(
     """Turn a trace mode into ``(primary sink, all sinks)``.
 
     ``"full"`` → a :class:`FullTrace`; ``"aggregate"`` → an
-    :class:`AggregateTrace`; a path → a :class:`JsonlTraceWriter` to that
-    path *plus* an :class:`AggregateTrace` primary (the events live on
-    disk, so only O(1) memory is retained — replay the file for more).
+    :class:`AggregateTrace`; a path, ``"-"`` (standard output) or an
+    already-open stream → a :class:`JsonlTraceWriter` to that target
+    *plus* an :class:`AggregateTrace` primary (the events stream out, so
+    only O(1) memory is retained — replay the capture for more).
     ``extra_sinks`` are appended after the primary in emission order.
 
     A string counts as a path only when it *looks* like one (a ``.jsonl``
-    suffix or a directory separator) — so a typo like ``trace="ful"``
-    raises instead of silently creating a file named ``ful``.
+    suffix, a directory separator, or the stdout marker ``"-"``) — so a
+    typo like ``trace="ful"`` raises instead of silently creating a file
+    named ``ful``.
     """
     primary: TraceSink
     if trace == "full":
@@ -723,16 +789,25 @@ def resolve_trace_mode(
     elif trace == "aggregate":
         primary = AggregateTrace()
         sinks = (primary,)
-    elif isinstance(trace, Path) or (
-        isinstance(trace, str)
-        and (trace.endswith(".jsonl") or "/" in trace or "\\" in trace)
+    elif (
+        isinstance(trace, Path)
+        or hasattr(trace, "write")
+        or (
+            isinstance(trace, str)
+            and (
+                trace == "-"
+                or trace.endswith(".jsonl")
+                or "/" in trace
+                or "\\" in trace
+            )
+        )
     ):
         primary = AggregateTrace()
         sinks = (primary, JsonlTraceWriter(trace))
     else:
         raise SimulationError(
-            f"invalid trace mode {trace!r}: expected 'full', 'aggregate' "
-            "or a JSONL output path (*.jsonl)"
+            f"invalid trace mode {trace!r}: expected 'full', 'aggregate', "
+            "'-', an open stream, or a JSONL output path (*.jsonl)"
         )
     return primary, sinks + tuple(extra_sinks)
 

@@ -168,3 +168,121 @@ class TestProfileFlag:
     def test_profile_rejected_outside_run(self, capsys):
         assert main(["fig2", "--profile"]) == 2
         assert "--profile" in capsys.readouterr().err
+
+
+class TestTraceOutStdout:
+    def test_trace_out_dash_streams_jsonl_to_stdout(self, capsys):
+        import json as json_mod
+
+        assert main(
+            ["run", "--scenario", "quick", "--length", "10", "--trace-out", "-"]
+        ) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l]
+        assert json_mod.loads(lines[0])["event"] == "RunStart"
+        assert json_mod.loads(lines[-1])["event"] == "RunEnd"
+        # The human-readable summary moved to stderr to keep stdout pure.
+        assert "makespan_us" in captured.err
+        assert "streamed to stdout" in captured.err
+
+
+class TestCacheJson:
+    def test_cache_stats_json(self, capsys, tmp_path):
+        import json as json_mod
+
+        assert main(["cache", "stats", "--json", "--store", str(tmp_path)]) == 0
+        info = json_mod.loads(capsys.readouterr().out)
+        assert info["root"] == str(tmp_path)
+        assert info["total_entries"] == 0
+        assert set(info["entries"]) >= {"compiled", "ideal", "mobility"}
+
+    def test_cache_stats_json_counts_entries(self, capsys, tmp_path):
+        import json as json_mod
+
+        assert main(
+            ["cache", "warm", "--scenario", "quick", "--length", "10",
+             "--rus", "4", "--store", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--store", str(tmp_path)]) == 0
+        info = json_mod.loads(capsys.readouterr().out)
+        assert info["total_entries"] > 0
+
+
+class TestServiceCommands:
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        from repro.server import ServerThread
+
+        with ServerThread(workers=2, quota_rate=0) as srv:
+            yield srv
+
+    def _argv(self, daemon, *rest):
+        return [*rest, "--host", daemon.host, "--port", str(daemon.port)]
+
+    def test_submit_run_and_jobs_listing(self, capsys, daemon):
+        argv = self._argv(
+            daemon, "submit", "--scenario", "quick", "--length", "20",
+            "--policy", "local-lfd", "--window", "2",
+        )
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "submitted j" in captured.err
+        assert "Local LFD (2)" in captured.out
+        assert "makespan_us" in captured.out
+
+        assert main(self._argv(daemon, "jobs")) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_submit_sweep_json(self, capsys, daemon):
+        import json as json_mod
+
+        argv = self._argv(
+            daemon, "submit", "--sweep", "--scenario", "quick", "--length",
+            "20", "--policies", "local-lfd", "lru", "--rus", "4", "6",
+            "--json",
+        )
+        assert main(argv) == 0
+        result = json_mod.loads(capsys.readouterr().out)
+        assert result["kind"] == "sweep"
+        assert len(result["records"]) == 4
+
+    def test_submit_stream_writes_jsonl_to_stdout(self, capsys, daemon):
+        import json as json_mod
+
+        argv = self._argv(
+            daemon, "submit", "--scenario", "quick", "--length", "20",
+            "--stream",
+        )
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l]
+        assert json_mod.loads(lines[0])["event"] == "RunStart"
+        assert json_mod.loads(lines[-1])["event"] == "RunEnd"
+
+    def test_submit_no_wait_then_inspect_and_cancel(self, capsys, daemon):
+        argv = self._argv(
+            daemon, "submit", "--scenario", "quick", "--length", "20",
+            "--no-wait",
+        )
+        assert main(argv) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("j")
+
+        assert main(self._argv(daemon, "jobs", job_id)) == 0
+        assert job_id in capsys.readouterr().out
+
+        assert main(self._argv(daemon, "jobs", job_id, "--cancel")) == 0
+        assert "cancel_requested" in capsys.readouterr().out
+
+    def test_jobs_unknown_id_fails(self, capsys, daemon):
+        assert main(self._argv(daemon, "jobs", "j-unknown")) == 1
+        assert "404" in capsys.readouterr().err
+
+    def test_service_flags_rejected_elsewhere(self, capsys):
+        assert main(["fig2", "--workers", "3"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["run", "--stream"]) == 2
+        assert "--stream" in capsys.readouterr().err
+        assert main(["fig2", "--json"]) == 2
+        assert "--json" in capsys.readouterr().err

@@ -412,6 +412,63 @@ class TestCompiledWorkloadIntegration:
         s.close()  # second close: no-op
         assert s._pool is None
 
+    def test_close_concurrent_calls_are_safe(self, workload):
+        import threading
+
+        s = Session(Device(4), workload)
+        s.sweep([lru_spec()], ru_counts=(4, 5), parallel=2)
+        errors = []
+
+        def close():
+            try:
+                s.close()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert s._pool is None
+
+    def test_close_concurrent_with_inflight_sweep(self, workload):
+        """close() racing a parallel sweep: clean error or clean result.
+
+        The daemon shuts sessions down while sweeps may still be in
+        flight; the only acceptable outcomes are a completed sweep or an
+        ExperimentError — never a RuntimeError from the dead executor.
+        """
+        import threading
+        import time as time_mod
+
+        s = Session(Device(4), workload)
+        s.compiled()  # pay design time up front so the sweep starts fast
+        unexpected = []
+
+        def run_sweep():
+            try:
+                s.sweep(
+                    [lru_spec(), local_lfd_spec(1)],
+                    ru_counts=(4, 5, 6),
+                    parallel=2,
+                )
+            except ExperimentError:
+                pass  # the documented close-during-sweep outcome
+            except Exception as exc:  # pragma: no cover - the regression
+                unexpected.append(exc)
+
+        worker = threading.Thread(target=run_sweep)
+        worker.start()
+        time_mod.sleep(0.05)
+        s.close()
+        s.close()
+        worker.join(60)
+        assert not worker.is_alive()
+        assert not unexpected
+        assert s._pool is None
+
     def test_parallel_equals_sequential_with_warm_pool(self, session):
         specs = [lru_spec(), local_lfd_spec(1, skip_events=True)]
         seq = session.sweep(specs, ru_counts=(4, 6), parallel=1)

@@ -131,6 +131,63 @@ def test_jsonl_round_trip(tmp_path, workload):
     assert replayed.app_completion_times == full.trace.app_completion_times
 
 
+def test_jsonl_writer_accepts_open_text_stream(tmp_path, workload):
+    """An already-open stream gets the same bytes as a path target."""
+    import io
+
+    path = tmp_path / "events.jsonl"
+    spec = local_lfd_spec(1)
+    _run(workload, spec, trace=str(path))
+
+    buffer = io.StringIO()
+    _run(workload, spec, trace=buffer)
+    assert buffer.getvalue() == path.read_text(encoding="utf-8")
+    # Caller-supplied streams are flushed, never closed.
+    assert not buffer.closed
+    replayed = trace_from_jsonl(buffer.getvalue().splitlines())
+    assert replayed.summary() == trace_from_jsonl(path).summary()
+
+
+def test_jsonl_writer_accepts_open_binary_stream(tmp_path, workload):
+    import io
+
+    path = tmp_path / "events.jsonl"
+    spec = local_lfd_spec(1)
+    _run(workload, spec, trace=str(path))
+
+    buffer = io.BytesIO()
+    _run(workload, spec, trace=buffer)
+    assert buffer.getvalue() == path.read_bytes()
+    assert not buffer.closed
+
+    with (tmp_path / "direct.jsonl").open("wb") as fh:
+        _run(workload, spec, trace=fh)
+        assert not fh.closed
+    assert (tmp_path / "direct.jsonl").read_bytes() == path.read_bytes()
+
+
+def test_jsonl_writer_stdout_marker(capsys, workload):
+    """``trace="-"`` streams the event log to standard output."""
+    result = _run(workload, local_lfd_spec(1), trace="-")
+    captured = capsys.readouterr().out
+    lines = [line for line in captured.splitlines() if line]
+    assert json.loads(lines[0])["event"] == "RunStart"
+    assert json.loads(lines[-1])["event"] == "RunEnd"
+    replayed = trace_from_jsonl(lines)
+    assert replayed.summary() == result.trace.summary()
+
+
+def test_read_trace_events_accepts_streams_and_lines(tmp_path, workload):
+    path = tmp_path / "events.jsonl"
+    _run(workload, local_lfd_spec(1), trace=str(path))
+    from_path = list(read_trace_events(path))
+    with path.open("r", encoding="utf-8") as fh:
+        from_stream = list(read_trace_events(fh))
+    from_lines = list(read_trace_events(path.read_text().splitlines()))
+    from_bytes = list(read_trace_events(path.read_bytes().splitlines()))
+    assert from_path == from_stream == from_lines == from_bytes
+
+
 def test_jsonl_stream_ordering_contract(tmp_path, workload):
     path = tmp_path / "events.jsonl"
     _run(workload, lru_spec(), trace=str(path))
