@@ -1,0 +1,83 @@
+"""E-BACKENDS — cells/second across the three sweep execution backends.
+
+Runs the fig9a spec panel over the reduced evaluation workload once per
+backend — ``inline``, ``process-pool`` (2 workers) and ``work-stealing``
+(2 workers over a throwaway store) — asserts every backend returns
+cell-for-cell identical records, and writes the throughput comparison as
+JSON (``benchmarks/results/bench_backends.json``) so the CI ``backends``
+job can track the coordination overhead of the work-stealing queue
+against the plain pool over time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import EVAL_RU_COUNTS
+from repro.artifacts.store import ArtifactStore
+from repro.backends import ProcessPoolBackend, WorkStealingBackend
+from repro.core.policy_spec import fig9a_specs
+from repro.session import Session
+
+#: Worker processes for the parallel backends.
+JOBS = min(2, os.cpu_count() or 1)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_backends.json"
+
+
+def _timed_sweep(workload, backend):
+    with Session(workload=workload, backend=backend) as session:
+        session.compiled()  # pay workload compilation outside the clock
+        t0 = time.perf_counter()
+        sweep = session.sweep(
+            fig9a_specs(), ru_counts=EVAL_RU_COUNTS, title="bench"
+        )
+    return sweep, time.perf_counter() - t0
+
+
+def test_backend_throughput(eval_workload, tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("bench-backends-store"))
+    legs = {
+        "inline": None,  # Session default for parallel=1
+        "process-pool": ProcessPoolBackend(workers=JOBS),
+        "work-stealing": WorkStealingBackend(
+            store, workers=JOBS, poll_s=0.02, timeout_s=600
+        ),
+    }
+    sweeps, timings = {}, {}
+    for name, backend in legs.items():
+        sweeps[name], timings[name] = _timed_sweep(eval_workload, backend)
+
+    # Correctness first: the backend must never change a cell.
+    reference = [r.__dict__ for r in sweeps["inline"].records]
+    for name, sweep in sweeps.items():
+        assert [r.__dict__ for r in sweep.records] == reference, name
+
+    n_cells = len(reference)
+    payload = {
+        "benchmark": "backend_throughput_fig9a",
+        "workload": eval_workload.name,
+        "ru_counts": list(EVAL_RU_COUNTS),
+        "cells": n_cells,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "backends": {
+            name: {
+                "seconds": round(seconds, 3),
+                "cells_per_s": round(n_cells / seconds, 3) if seconds else None,
+            }
+            for name, seconds in timings.items()
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("\n" + json.dumps(payload, indent=2))
+
+    # The queue adds coordination cost but must stay within an order of
+    # magnitude of the pool — a stall (lease thrash, republish loop)
+    # shows up as a blown ratio long before a timeout would.
+    assert timings["work-stealing"] < timings["process-pool"] * 10 + 5.0

@@ -89,6 +89,16 @@ from repro.hw import (
     make_device,
     parse_latency_model,
 )
+from repro.backends import (
+    ExecutorBackend,
+    ExperimentPlan,
+    InlineBackend,
+    ProcessPoolBackend,
+    WorkStealingBackend,
+    build_plan,
+    resolve_backend,
+    run_worker,
+)
 from repro.session import (
     ArtifactCache,
     DeviceCellRecord,
@@ -188,6 +198,15 @@ __all__ = [
     "SessionHooks",
     "SweepCell",
     "workload_content_key",
+    # backends (pluggable sweep execution)
+    "ExecutorBackend",
+    "ExperimentPlan",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "WorkStealingBackend",
+    "build_plan",
+    "resolve_backend",
+    "run_worker",
     # hw (the first-class hardware model)
     "BitstreamLatency",
     "DeviceModel",

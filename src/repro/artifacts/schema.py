@@ -112,6 +112,139 @@ def decode_compiled(key: str, entry: Any):
 
 
 # ----------------------------------------------------------------------
+# Work-stealing sweep queue entries (see repro.backends.queue)
+# ----------------------------------------------------------------------
+def _mobility_tables_payload(tables: Optional[Mapping]) -> Optional[Dict]:
+    if tables is None:
+        return None
+    return {
+        name: {str(node): int(mob) for node, mob in table.items()}
+        for name, table in tables.items()
+    }
+
+
+def _mobility_tables_from_payload(payload: Any) -> Optional[Dict[str, Dict[int, int]]]:
+    if payload is None:
+        return None
+    try:
+        return {
+            str(name): {int(node): int(mob) for node, mob in table.items()}
+            for name, table in payload.items()
+        }
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed mobility payload: {exc}") from exc
+
+
+def encode_sweep_meta(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one sweep's queue manifest (kind ``"sweep"``).
+
+    The payload carries the serialized workload (graphs + sequence +
+    scalars), the cell count and the trace mode — everything a worker on
+    another host needs beyond the per-cell task entries.
+    """
+    return _envelope("sweep", key, dict(payload), meta)
+
+
+def decode_sweep_meta(key: str, entry: Any) -> Dict:
+    payload = _open_envelope("sweep", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("sweep payload is not an object")
+    try:
+        n_cells = int(payload["n_cells"])
+        workload = payload["workload"]
+        if n_cells < 1 or not isinstance(workload, dict):
+            raise ValueError("bad n_cells/workload")
+        for field in ("graphs", "sequence", "n_rus", "reconfig_latency"):
+            if field not in workload:
+                raise ValueError(f"workload payload missing {field!r}")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed sweep payload: {exc}") from exc
+    return payload
+
+
+def encode_task(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one queued sweep cell (kind ``"task"``).
+
+    ``payload["mobility"]`` uses the same string-keyed table layout as
+    the ``mobility`` artifact kind; ``spec_b64``/``device_b64`` carry the
+    pickled :class:`~repro.core.policy_spec.PolicySpec` / device model
+    (specs are picklable by contract — they already cross process
+    boundaries in pool sweeps).
+    """
+    payload = dict(payload)
+    payload["mobility"] = _mobility_tables_payload(payload.get("mobility"))
+    return _envelope("task", key, payload, meta)
+
+
+def decode_task(key: str, entry: Any) -> Dict:
+    payload = _open_envelope("task", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("task payload is not an object")
+    try:
+        out = {
+            "index": int(payload["index"]),
+            "spec_b64": str(payload["spec_b64"]),
+            "n_rus": int(payload["n_rus"]),
+            "reconfig_latency": int(payload["reconfig_latency"]),
+            "device_b64": payload.get("device_b64"),
+            "ideal_us": int(payload["ideal_us"]),
+            "trace": str(payload.get("trace", "aggregate")),
+            "mobility": _mobility_tables_from_payload(payload.get("mobility")),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed task payload: {exc}") from exc
+    if out["device_b64"] is not None and not isinstance(out["device_b64"], str):
+        raise ArtifactDecodeError("task device_b64 is not a string")
+    return out
+
+
+def encode_cell_result(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one completed (or failed) cell (kind ``"result"``)."""
+    return _envelope("result", key, dict(payload), meta)
+
+
+def decode_cell_result(key: str, entry: Any) -> Dict:
+    payload = _open_envelope("result", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("result payload is not an object")
+    try:
+        index = int(payload["index"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed result payload: {exc}") from exc
+    record, error = payload.get("record"), payload.get("error")
+    if error is not None:
+        if not isinstance(error, str):
+            raise ArtifactDecodeError("result error is not a string")
+    elif not isinstance(record, dict):
+        raise ArtifactDecodeError("result has neither a record nor an error")
+    return {
+        "index": index,
+        "record": record,
+        "error": error,
+        "worker": payload.get("worker"),
+    }
+
+
+def encode_lease(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one cell lease (kind ``"lease"``)."""
+    return _envelope("lease", key, dict(payload), meta)
+
+
+def decode_lease(key: str, entry: Any) -> Dict:
+    payload = _open_envelope("lease", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("lease payload is not an object")
+    try:
+        return {
+            "worker": str(payload["worker"]),
+            "acquired": float(payload["acquired"]),
+            "ttl_s": float(payload["ttl_s"]),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed lease payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # Zero-latency ideal makespans: one integer
 # ----------------------------------------------------------------------
 def encode_ideal(key: str, makespan_us: int, meta: Optional[Mapping] = None) -> Dict:

@@ -32,7 +32,11 @@ from repro.artifacts.schema import SCHEMA_VERSION, ArtifactDecodeError
 from repro.exceptions import ReproError
 
 #: Artifact kinds the store recognises (one subdirectory each).
-KINDS = ("mobility", "ideal", "compiled")
+#: The ``sweep``/``task``/``lease``/``result`` kinds carry the
+#: work-stealing sweep queue (see :mod:`repro.backends.queue`); unlike
+#: the content-addressed design-time kinds they are transient — the
+#: coordinating backend removes them when a sweep completes.
+KINDS = ("mobility", "ideal", "compiled", "sweep", "task", "lease", "result")
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -170,6 +174,39 @@ class ArtifactStore:
         self.stats.writes += 1
         return path
 
+    def put_exclusive(self, kind: str, key: str, entry: Any) -> bool:
+        """Persist ``entry`` only if ``(kind, key)`` does not exist yet.
+
+        The atomic claim primitive of the work-stealing queue: ``O_CREAT |
+        O_EXCL`` guarantees exactly one of any number of concurrent
+        callers — across processes *and* hosts sharing the directory —
+        wins the create; everyone else gets ``False``.  Unlike
+        :meth:`put`, the winner's write is visible in place (a reader
+        racing the write may see a torn entry, which every queue decoder
+        treats as reclaimable), so use it for claim markers, not
+        payload-bearing artifacts.
+        """
+        path = self._entry_path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise ArtifactStoreError(
+                f"cannot create artifact {kind}/{key} under {self.root}: {exc}"
+            ) from exc
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise ArtifactStoreError(
+                f"cannot write artifact {kind}/{key} under {self.root}: {exc}"
+            ) from exc
+        self.stats.writes += 1
+        return True
+
     def evict(self, kind: str, key: str) -> None:
         """Best-effort removal of one entry (used for corrupt files)."""
         try:
@@ -177,6 +214,36 @@ class ArtifactStore:
             self.stats.corrupt_evicted += 1
         except OSError:
             pass
+
+    def remove(self, kind: str, key: str) -> bool:
+        """Silent removal of one entry (queue GC, lease release).
+
+        Unlike :meth:`evict` this does not count toward
+        ``corrupt_evicted`` — removing a consumed queue entry is normal
+        operation, not corruption recovery.
+        """
+        try:
+            self._entry_path(kind, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def exists(self, kind: str, key: str) -> bool:
+        """Whether an entry file is present (no stats, no decoding)."""
+        return self._entry_path(kind, key).is_file()
+
+    def keys_of_kind(self, kind: str, prefix: str = "") -> list:
+        """Sorted keys currently on disk for ``kind`` (optionally filtered
+        by prefix) — how workers discover published sweeps."""
+        if kind not in KINDS:
+            raise ArtifactStoreError(f"unknown artifact kind {kind!r} (have {KINDS})")
+        kind_dir = self.layout_dir / kind
+        if not kind_dir.is_dir():
+            return []
+        keys = [path.stem for path in kind_dir.glob("*/*.json")]
+        if prefix:
+            keys = [k for k in keys if k.startswith(prefix)]
+        return sorted(keys)
 
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[Tuple[str, Path]]:

@@ -1,0 +1,192 @@
+"""The executor-backend contract: how a batch of sweep cells runs.
+
+:class:`~repro.session.Session` plans an experiment (design-time
+artifacts deduplicated through the explicit task DAG of
+:mod:`repro.backends.plan`) and then hands the run-time phase — a
+:class:`CellBatch` of independent ``(spec, device)`` cells — to an
+:class:`ExecutorBackend`.  The backend decides *where* the cells execute:
+
+* :class:`~repro.backends.inline.InlineBackend` — serially, in the
+  calling process (debuggable, honours hook trace sinks);
+* :class:`~repro.backends.pool.ProcessPoolBackend` — over a reusable
+  in-host :class:`~concurrent.futures.ProcessPoolExecutor` (the
+  historical ``parallel=N`` behaviour);
+* :class:`~repro.backends.stealing.WorkStealingBackend` — N worker
+  processes (in-process or ``repro worker`` on other hosts) pulling
+  cells from a lease-based queue persisted through the content-addressed
+  :class:`~repro.artifacts.store.ArtifactStore`.
+
+The contract every backend honours (asserted by
+``tests/test_backends.py``):
+
+1. ``run_cells`` returns one :class:`PolicyRunRecord` per cell **in cell
+   order** (never completion order), byte-identical to the serial path —
+   a sweep's numbers must not depend on where it ran.
+2. ``batch.started(i)`` fires before cell ``i`` executes and
+   ``batch.finished(i, record)`` after it produced its record;
+   ``batch.progressed(done, total)`` counts completed cells
+   monotonically.  Start/finish pairs of different cells may interleave.
+3. ``close()`` is idempotent and the backend is a context manager;
+   ``with backend:`` closes it on exit.
+4. A failed batch (worker crash, raising policy) surfaces as an
+   exception *and leaves the backend reusable*: the next ``run_cells``
+   on the same instance must succeed from scratch.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.policy_spec import PolicySpec
+from repro.hw.model import DeviceModel
+from repro.metrics.summary import PolicyRunRecord
+from repro.sim.manager import MobilityTables
+from repro.sim.simulator import run_simulation
+from repro.sim.tracing import TraceMode, TraceSink
+from repro.workloads.compiled import CompiledWorkload
+from repro.workloads.sequence import Workload
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of a sweep/grid: which spec on which device sizing.
+
+    ``device`` carries the full hardware model when the cell runs on one;
+    ``None`` means the homogeneous device implied by the scalar pair
+    (the historical behaviour, byte-identical artifacts and all).
+    """
+
+    spec: PolicySpec
+    n_rus: int
+    reconfig_latency: int
+    device: Optional[DeviceModel] = None
+
+    @property
+    def label(self) -> str:
+        if self.device is not None and not self.device.is_paper_path():
+            return f"{self.spec.label} @ {self.device.label}"
+        return f"{self.spec.label} @ {self.n_rus} RUs"
+
+
+def _noop_started(index: int) -> None:
+    pass
+
+
+def _noop_finished(index: int, record: PolicyRunRecord) -> None:
+    pass
+
+
+def _noop_progressed(done: int, total: int) -> None:
+    pass
+
+
+def _no_sinks(index: int) -> Tuple[TraceSink, ...]:
+    return ()
+
+
+@dataclass
+class CellBatch:
+    """Everything a backend needs to execute one batch of cells.
+
+    The session resolves the design-time phase *before* building the
+    batch (see :func:`repro.backends.plan.build_plan`): ``artifacts[i]``
+    is the ``(mobility_tables_or_None, ideal_makespan_us)`` pair cell
+    ``i`` runs with, already deduplicated across cells.  Backends only
+    replay the run-time phase.
+
+    ``sinks_for`` provides per-cell extra trace sinks; only in-process
+    backends can honour it (sink objects cannot cross a process
+    boundary), remote backends ignore it — mirroring the historical
+    ``parallel > 1`` behaviour.
+    """
+
+    workload: Workload
+    content_key: str
+    compiled: CompiledWorkload
+    cells: List[SweepCell]
+    artifacts: List[Tuple[Optional[MobilityTables], int]]
+    trace_mode: TraceMode = "full"
+    parallel: int = 1
+    started: Callable[[int], None] = _noop_started
+    finished: Callable[[int, PolicyRunRecord], None] = _noop_finished
+    progressed: Callable[[int, int], None] = _noop_progressed
+    sinks_for: Callable[[int], Tuple[TraceSink, ...]] = _no_sinks
+
+    def __post_init__(self) -> None:
+        if len(self.cells) != len(self.artifacts):
+            raise ValueError(
+                f"batch has {len(self.cells)} cells but "
+                f"{len(self.artifacts)} artifact pairs"
+            )
+
+    @property
+    def apps(self):
+        return self.workload.apps
+
+
+def hardware_kwargs(cell: SweepCell) -> dict:
+    """The ``run_simulation`` hardware arguments one cell implies."""
+    if cell.device is not None:
+        return {"device": cell.device}
+    return {"n_rus": cell.n_rus, "reconfig_latency": cell.reconfig_latency}
+
+
+def run_cell(
+    apps: Sequence,
+    cell: SweepCell,
+    mobility: Optional[MobilityTables],
+    ideal_us: int,
+    trace: TraceMode = "full",
+    extra_sinks: Sequence[TraceSink] = (),
+    compiled: Optional[CompiledWorkload] = None,
+) -> PolicyRunRecord:
+    """Execute one cell's run-time phase; the shared backend primitive.
+
+    Every backend — inline, pool worker, stealing worker — funnels
+    through this function, which is what makes cross-backend
+    byte-identity a structural property rather than a coincidence.
+    """
+    result = run_simulation(
+        apps,
+        advisor=cell.spec.make_advisor(),
+        semantics=cell.spec.make_semantics(),
+        mobility_tables=mobility,
+        ideal_makespan_us=ideal_us,
+        trace=trace,
+        extra_sinks=extra_sinks,
+        compiled=compiled,
+        **hardware_kwargs(cell),
+    )
+    return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)
+
+
+class ExecutorBackend(ABC):
+    """Abstract executor: runs a :class:`CellBatch`, returns its records.
+
+    Subclasses implement :meth:`run_cells`; :meth:`close` releases any
+    held resources (worker pools, queue state) and must be idempotent.
+    Backends are reusable across batches — and across *sessions*, as long
+    as consecutive batches agree on the workload content (pool-based
+    backends re-initialise their workers when it changes).
+    """
+
+    #: Registry name (also what ``Session(backend="<name>")`` accepts).
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_cells(self, batch: CellBatch) -> List[PolicyRunRecord]:
+        """Execute every cell; records returned in cell order."""
+
+    def close(self) -> None:
+        """Release resources (idempotent; default: nothing to release)."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

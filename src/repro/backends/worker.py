@@ -1,0 +1,173 @@
+"""The work-stealing worker loop — in-process or ``repro worker`` on any host.
+
+A worker needs exactly one thing: the store directory.  It discovers
+published sweeps through their manifests, reconstructs the workload from
+the manifest payload (compiled form served from the store's ``compiled``
+kind when warm), then pulls cells from the lease queue until the sweep
+drains.  Several workers — any mix of backend-spawned processes and
+``repro worker`` daemons on other hosts sharing the directory — steal
+from the same queue without further coordination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import socket
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.artifacts.keys import compiled_key, workload_content_key
+from repro.artifacts.schema import decode_compiled
+from repro.artifacts.store import ArtifactStore
+from repro.backends.base import SweepCell, run_cell
+from repro.backends.queue import (
+    CellQueue,
+    active_sweeps,
+    unpack_obj,
+    workload_from_payload,
+)
+from repro.workloads.compiled import CompiledWorkload
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _SweepContext:
+    """Per-sweep worker state: the reconstructed workload, once."""
+
+    def __init__(self, store: ArtifactStore, queue: CellQueue, meta: Dict) -> None:
+        self.queue = queue
+        workload = workload_from_payload(meta["workload"])
+        self.apps = workload.apps
+        content = workload_content_key(workload)
+        compiled = None
+        stored = store.load("compiled", compiled_key(content), decode_compiled)
+        if stored is not None and stored.matches(self.apps):
+            compiled = stored
+        self.compiled: CompiledWorkload = compiled or CompiledWorkload.compile(self.apps)
+
+    def execute(self, task: Dict, worker_id: str) -> None:
+        index = task["index"]
+        try:
+            spec = unpack_obj(task["spec_b64"])
+            device = (
+                unpack_obj(task["device_b64"])
+                if task["device_b64"] is not None
+                else None
+            )
+            cell = SweepCell(
+                spec=spec,
+                n_rus=task["n_rus"],
+                reconfig_latency=task["reconfig_latency"],
+                device=device,
+            )
+            record = run_cell(
+                self.apps,
+                cell,
+                task["mobility"],
+                task["ideal_us"],
+                trace=task["trace"],
+                compiled=self.compiled,
+            )
+        except BaseException as exc:
+            # Deterministic cell failures (a raising policy, a bad spec)
+            # must terminate the sweep, not bounce between workers forever:
+            # publish the error as the cell's result.
+            self.queue.fail(
+                index,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=5)}",
+                worker_id,
+            )
+            return
+        self.queue.complete(index, dataclasses.asdict(record), worker_id)
+
+
+def run_worker(
+    store: Union[ArtifactStore, str, Path],
+    sweep_id: Optional[str] = None,
+    *,
+    worker_id: Optional[str] = None,
+    lease_ttl: float = 30.0,
+    poll_s: float = 0.1,
+    max_idle_s: Optional[float] = None,
+    once: bool = False,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Pull and execute sweep cells until there is nothing left to do.
+
+    Parameters
+    ----------
+    store:
+        The shared artifact store (or its directory).
+    sweep_id:
+        Serve exactly this sweep and return when it is fully resulted
+        (the backend-spawned worker mode).  ``None`` discovers every
+        published sweep and keeps polling for new ones (the ``repro
+        worker`` daemon mode) until ``max_idle_s`` of continuous idleness
+        or — with ``once=True`` — the first drained scan.
+    lease_ttl:
+        Seconds a claimed cell may run before other workers treat the
+        lease as stale and reclaim it; size it above the slowest cell.
+    seed:
+        Seeds the claim-order shuffle (used by the partition property
+        tests; irrelevant for correctness).
+
+    Returns counters: ``{"completed": N, "failed": N, "sweeps": N}``.
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    worker_id = worker_id or default_worker_id()
+    rng = random.Random(seed)
+    contexts: Dict[str, _SweepContext] = {}
+    stats = {"completed": 0, "failed": 0, "sweeps": 0}
+    idle_since: Optional[float] = None
+
+    def _context(sid: str) -> Optional[_SweepContext]:
+        ctx = contexts.get(sid)
+        if ctx is None:
+            queue = CellQueue(store, sid)
+            meta = queue.meta()
+            if meta is None:
+                return None  # manifest gone (sweep cleaned up) or corrupt
+            ctx = contexts[sid] = _SweepContext(store, queue, meta)
+            stats["sweeps"] += 1
+        return ctx
+
+    while True:
+        progressed = False
+        sweep_ids = [sweep_id] if sweep_id is not None else active_sweeps(store)
+        for sid in sweep_ids:
+            ctx = _context(sid)
+            if ctx is None:
+                continue
+            while True:
+                task = ctx.queue.claim(worker_id, lease_ttl, rng)
+                if task is None:
+                    break
+                ctx.execute(task, worker_id)
+                result = ctx.queue.result(task["index"])
+                if result is not None and result.get("error"):
+                    stats["failed"] += 1
+                else:
+                    stats["completed"] += 1
+                progressed = True
+        if sweep_id is not None:
+            ctx = contexts.get(sweep_id)
+            if ctx is not None and (ctx.queue.finished() or ctx.queue.meta() is None):
+                break  # sweep fully resulted, or coordinator cleaned it up
+        if progressed:
+            idle_since = None
+            continue
+        if once:
+            break
+        now = time.time()
+        idle_since = idle_since if idle_since is not None else now
+        if max_idle_s is not None and now - idle_since >= max_idle_s:
+            break
+        time.sleep(poll_s)
+    return stats

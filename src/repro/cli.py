@@ -32,6 +32,15 @@ across invocations through the on-disk store::
 subcommands default to ``$REPRO_CACHE_DIR`` (else
 ``~/.cache/repro/artifacts``).
 
+Sweeps can also fan out over a pluggable execution backend (see
+``docs/backends.md``) — including a store-coordinated work-stealing
+queue that any number of ``repro worker`` daemons, on any host sharing
+the store directory, pull cells from::
+
+    repro worker --store /mnt/shared/artifacts &        # on each host
+    repro sweep --panel fig9b --backend work-stealing \
+        --store /mnt/shared/artifacts
+
 The simulation service (see ``docs/service.md``)::
 
     repro serve --port 8765 --workers 8 --store ~/.cache/repro/artifacts
@@ -87,6 +96,7 @@ COMMANDS = (
     "serve",
     "submit",
     "jobs",
+    "worker",
     "all",
 )
 
@@ -104,7 +114,11 @@ STORE_COMMANDS = (
     "fig9a",
     "fig9b",
     "fig9c",
+    "worker",
 )
+
+#: Commands that honour ``--backend`` (sweep execution backend).
+BACKEND_COMMANDS = ("sweep", "serve", "ablation", "fig9a", "fig9b", "fig9c")
 
 #: Commands whose positional ``subcommand`` slot is meaningful
 #: (``cache stats|clear|warm``, ``jobs <id>``).
@@ -149,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
             "disk tier to the session cache so mobility tables and ideal "
             "makespans survive the process (default for 'cache': "
             "$REPRO_CACHE_DIR or ~/.cache/repro/artifacts)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("inline", "process-pool", "work-stealing"),
+        default=None,
+        help=(
+            "sweep execution backend for sweep/serve/fig9*/ablation: "
+            "'inline' (serial), 'process-pool' (local processes) or "
+            "'work-stealing' (store-coordinated queue; requires --store; "
+            "see docs/backends.md)"
         ),
     )
     parser.add_argument(
@@ -384,6 +409,37 @@ def build_parser() -> argparse.ArgumentParser:
             "commands)"
         ),
     )
+    parser.add_argument(
+        "--sweep-id",
+        default=None,
+        metavar="ID",
+        help=(
+            "serve only this published sweep queue ('worker' command; "
+            "default: steal from every active sweep in the store)"
+        ),
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease TTL a worker stamps on claimed cells (default: 30)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "exit after this long with no claimable work ('worker' "
+            "command; default: run until interrupted)"
+        ),
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="drain currently-available work and exit ('worker' command)",
+    )
     return parser
 
 
@@ -507,6 +563,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         hooks=(_ProgressHook(),),
         trace=args.trace_mode,
         store=_store_from_args(args),
+        backend=args.backend,
     )
     sweep = session.sweep(
         specs_factory(),
@@ -586,6 +643,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers is not None else 4,
         quota_rate=args.quota_rate if args.quota_rate is not None else 100.0,
         quota_burst=args.quota_burst if args.quota_burst is not None else 500,
+        backend=args.backend,
     )
 
     async def _main() -> None:
@@ -620,6 +678,39 @@ def _run_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """The ``worker`` command: steal sweep cells from a shared store.
+
+    Point ``--store`` at the same directory a ``work-stealing`` sweep
+    coordinator uses (any host sharing the filesystem) and this process
+    pulls cells from every published queue until interrupted, drained
+    (``--once``) or idle for ``--max-idle`` seconds.
+    """
+    from repro.backends import run_worker
+
+    store = _store_from_args(args, default=True)
+    print(
+        f"repro worker stealing from {store.root}"
+        + (f" (sweep {args.sweep_id})" if args.sweep_id else " (all sweeps)"),
+        file=sys.stderr,
+        flush=True,
+    )
+    kwargs = {"once": args.once, "max_idle_s": args.max_idle}
+    if args.ttl is not None:
+        kwargs["lease_ttl"] = args.ttl
+    try:
+        stats = run_worker(store, args.sweep_id, **kwargs)
+    except KeyboardInterrupt:
+        print("repro worker: interrupted", file=sys.stderr)
+        return 0
+    print(
+        f"repro worker: {stats['completed']} cells completed, "
+        f"{stats['failed']} failed across {stats['sweeps']} sweep(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -798,6 +889,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         ("--policies", args.policies, ("submit",)),
         ("--cancel", args.cancel or None, ("jobs",)),
         ("--json", args.json or None, ("cache", "submit", "jobs")),
+        ("--backend", args.backend, BACKEND_COMMANDS),
+        ("--sweep-id", args.sweep_id, ("worker",)),
+        ("--ttl", args.ttl, ("worker",)),
+        ("--max-idle", args.max_idle, ("worker",)),
+        ("--once", args.once or None, ("worker",)),
     ):
         if value is not None and command not in allowed:
             names = "/".join(f"'{name}'" for name in allowed)
@@ -836,6 +932,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             parallel=args.jobs,
             trace=args.trace_mode,
             store=_store_from_args(args),
+            backend=args.backend,
         )
         print(renderer(sweep))
         if args.export_csv:
@@ -856,6 +953,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_submit(args)
     if command == "jobs":
         return _run_jobs(args)
+    if command == "worker":
+        return _run_worker(args)
     if command == "scenarios":
         from repro.util.tables import TextTable
 
@@ -878,7 +977,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(hybrid_speedup.render_hybrid_speedup())
         return 0
     if command == "ablation":
-        print(ablation_mod.render_all_ablations(store=_store_from_args(args)))
+        print(
+            ablation_mod.render_all_ablations(
+                store=_store_from_args(args), backend=args.backend
+            )
+        )
         return 0
     if command == "sensitivity":
         from repro.experiments.sensitivity import render_sensitivity, run_sensitivity

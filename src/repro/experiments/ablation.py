@@ -66,10 +66,12 @@ def _row(label: str, result: SimulationResult, graphs) -> AblationRow:
 
 
 def _session(
-    workload: Optional[Workload], cache: Optional[ArtifactCache] = None
+    workload: Optional[Workload],
+    cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> Session:
     workload = workload or paper_evaluation_workload(length=200, n_rus=6)
-    return Session(workload=workload, cache=cache)
+    return Session(workload=workload, cache=cache, backend=backend)
 
 
 def make_ablation_cache(store=None) -> ArtifactCache:
@@ -97,9 +99,10 @@ def run_window_sweep(
     workload: Optional[Workload] = None,
     windows: Sequence[int] = (0, 1, 2, 4, 8),
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A1: Local LFD reuse/overhead as the DL window grows."""
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     rows = [
         _row(f"Local LFD ({w})", session.run(_local_lfd(w)), apps) for w in windows
@@ -112,9 +115,10 @@ def run_window_sweep(
 def run_semantics_ablation(
     workload: Optional[Workload] = None,
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A2: the S1 cross-application-prefetch knob under Local LFD (1)."""
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     return [
         _row(
@@ -129,9 +133,10 @@ def run_semantics_ablation(
 def run_skip_mode_ablation(
     workload: Optional[Workload] = None,
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A3: literal Fig. 8 skips vs the prospect refinement."""
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     rows = [_row("no skips (ASAP)", session.run(_local_lfd(1)), apps)]
     for mode in ("literal", "prospect"):
@@ -143,9 +148,10 @@ def run_skip_mode_ablation(
 def run_policy_zoo(
     workload: Optional[Workload] = None,
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A4: every registered policy on the same workload."""
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     zoo = [
         PolicySpec("RANDOM", RandomPolicy, policy_kwargs=(("seed", 7),)),
@@ -165,9 +171,10 @@ def run_latency_sweep(
     workload: Optional[Workload] = None,
     latencies_us: Sequence[int] = (1000, 2000, 4000, 8000, 16000),
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A5: Local LFD(1) vs LRU gap as reconfiguration latency grows."""
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     rows = []
     for latency in latencies_us:
@@ -182,6 +189,7 @@ def run_latency_sweep(
 def run_arrival_ablation(
     workload: Optional[Workload] = None,
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A6: dynamic arrivals — how late knowledge degrades Local LFD.
 
@@ -193,7 +201,7 @@ def run_arrival_ablation(
     ideal under each arrival model (idle waiting must not be misread as
     reconfiguration overhead).
     """
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     n = len(apps)
     # Mean service time per application ~ critical path; pace arrivals
@@ -219,6 +227,7 @@ def run_controller_ablation(
     workload: Optional[Workload] = None,
     controller_counts: Sequence[int] = (1, 2, 4),
     cache: Optional[ArtifactCache] = None,
+    backend=None,
 ) -> List[AblationRow]:
     """A7: parallel reconfiguration controllers (the circuitry bottleneck).
 
@@ -228,7 +237,7 @@ def run_controller_ablation(
     much of the residual overhead is controller *contention* rather than
     raw load latency — the part extra circuitry can buy back.
     """
-    session = _session(workload, cache)
+    session = _session(workload, cache, backend)
     apps = session.workload.apps
     rows = []
     for count in controller_counts:
@@ -256,19 +265,21 @@ def render_ablation_rows(title: str, rows: List[AblationRow]) -> str:
     return table.render()
 
 
-def render_all_ablations(workload: Optional[Workload] = None, store=None) -> str:
+def render_all_ablations(
+    workload: Optional[Workload] = None, store=None, backend=None
+) -> str:
     # Resolve the default workload once and share one artifact cache, so
     # the six studies really do compute each design-time artifact once
     # (once *ever*, when a persistent store is attached).
     workload = workload or paper_evaluation_workload(length=200, n_rus=6)
     cache = make_ablation_cache(store)
     sections = [
-        render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload, cache=cache)),
-        render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload, cache=cache)),
-        render_ablation_rows("A3 — skip rule", run_skip_mode_ablation(workload, cache=cache)),
-        render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload, cache=cache)),
-        render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload, cache=cache)),
-        render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload, cache=cache)),
-        render_ablation_rows("A7 — reconfiguration controllers", run_controller_ablation(workload, cache=cache)),
+        render_ablation_rows("A1 — Dynamic-List window sweep", run_window_sweep(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A2 — cross-app prefetch semantics (S1)", run_semantics_ablation(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A3 — skip rule", run_skip_mode_ablation(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A4 — policy zoo", run_policy_zoo(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A5 — reconfiguration-latency sweep", run_latency_sweep(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A6 — dynamic arrival models", run_arrival_ablation(workload, cache=cache, backend=backend)),
+        render_ablation_rows("A7 — reconfiguration controllers", run_controller_ablation(workload, cache=cache, backend=backend)),
     ]
     return "\n\n".join(sections)

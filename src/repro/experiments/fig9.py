@@ -54,6 +54,7 @@ def run_policy_sweep(
     trace: str = "full",
     store=None,
     device=None,
+    backend=None,
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
@@ -66,12 +67,20 @@ def run_policy_sweep(
     processes — skip the design-time phase entirely.  ``trace="aggregate"``
     streams each cell through the O(1) aggregate sink — identical records,
     flat memory — which is what the CLI's ``--trace-mode`` selects for
-    long workloads.
+    long workloads.  ``backend`` selects the sweep execution backend
+    (``"inline"``, ``"process-pool"``, ``"work-stealing"`` or an
+    :class:`~repro.backends.base.ExecutorBackend` instance; see
+    ``docs/backends.md``).
     """
     if workload is None:
         workload = paper_evaluation_workload()
     session = Session(
-        device=device, workload=workload, hooks=hooks, trace=trace, store=store
+        device=device,
+        workload=workload,
+        hooks=hooks,
+        trace=trace,
+        store=store,
+        backend=backend,
     )
     return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
 
@@ -82,11 +91,12 @@ def run_fig9a(
     parallel: int = 1,
     trace: str = "full",
     store=None,
+    backend=None,
 ) -> SweepResult:
     """Fig. 9a: reuse rates, ASAP loading (mobility 0 everywhere)."""
     return run_policy_sweep(
         fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel,
-        trace=trace, store=store,
+        trace=trace, store=store, backend=backend,
     )
 
 
@@ -96,6 +106,7 @@ def run_fig9b(
     parallel: int = 1,
     trace: str = "full",
     store=None,
+    backend=None,
 ) -> SweepResult:
     """Fig. 9b: reuse rates with the Skip Event feature."""
     return run_policy_sweep(
@@ -106,6 +117,7 @@ def run_fig9b(
         parallel,
         trace=trace,
         store=store,
+        backend=backend,
     )
 
 
@@ -115,6 +127,7 @@ def run_fig9c(
     parallel: int = 1,
     trace: str = "full",
     store=None,
+    backend=None,
 ) -> SweepResult:
     """Fig. 9c: remaining reconfiguration overhead (%)."""
     return run_policy_sweep(
@@ -125,6 +138,7 @@ def run_fig9c(
         parallel,
         trace=trace,
         store=store,
+        backend=backend,
     )
 
 

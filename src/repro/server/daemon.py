@@ -45,6 +45,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.artifacts.keys import workload_content_key
 from repro.artifacts.store import ArtifactStore
+from repro.exceptions import ExperimentError
 from repro.server.http import (
     LAST_CHUNK,
     ProtocolError,
@@ -144,6 +145,12 @@ class ReproServer:
     max_pending:
         Hard backlog cap across all clients; submissions beyond it are
         rejected with 429 regardless of quota state.
+    backend:
+        Sweep execution backend name passed to every job's
+        :class:`~repro.session.Session` (``"inline"``,
+        ``"process-pool"`` or ``"work-stealing"``; see
+        ``docs/backends.md``).  ``None`` keeps the session default.
+        ``"work-stealing"`` requires ``store``.
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class ReproServer:
         quota_rate: float = 100.0,
         quota_burst: int = 500,
         max_pending: int = 10_000,
+        backend: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -163,6 +171,11 @@ class ReproServer:
             store = ArtifactStore(store)
         self.store = store
         self.cache = ArtifactCache(store=store)
+        if backend == "work-stealing" and store is None:
+            raise ExperimentError(
+                "backend='work-stealing' requires a persistent --store"
+            )
+        self.backend = backend
         self.workers = max(1, int(workers))
         self.quota_rate = float(quota_rate)
         self.quota_burst = int(quota_burst)
@@ -493,7 +506,10 @@ class ReproServer:
             workload, content_key = self._workload_for(job.spec)
             specs = job.spec.policy_specs()
             session = Session(
-                workload=workload, cache=self.cache, hooks=(_JobHooks(job),)
+                workload=workload,
+                cache=self.cache,
+                hooks=(_JobHooks(job),),
+                backend=self.backend,
             )
             if job.spec.kind == "sweep":
                 ru_axis: Tuple[int, ...] = job.spec.rus

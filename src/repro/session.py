@@ -17,9 +17,14 @@ Attach a persistent :class:`~repro.artifacts.store.ArtifactStore`
 (``Session(store=...)``) and "once" holds across processes: warm runs
 serve every artifact from disk and skip the design-time phase entirely.
 
-``Session.sweep(specs, ru_counts, parallel=N)`` fans independent cells out
-over a :class:`concurrent.futures.ProcessPoolExecutor`; ``Session.grid``
-adds a reconfiguration-latency axis for cartesian studies.  Observers can
+``Session.sweep(specs, ru_counts, parallel=N)`` plans the experiment as
+an explicit task DAG (:meth:`Session.plan`, design-time nodes
+deduplicated structurally) and hands the independent cells to a
+pluggable :class:`~repro.backends.base.ExecutorBackend` — inline,
+process-pool, or store-coordinated work-stealing across hosts
+(``Session(backend="work-stealing")`` + ``repro worker``);
+``Session.grid`` adds a reconfiguration-latency axis for cartesian
+studies.  Observers can
 subscribe to the run lifecycle through :class:`SessionHooks` — including
 attaching custom trace sinks per cell — and ``trace="aggregate"`` (or a
 JSONL path) switches the engine to the streaming trace subsystem
@@ -38,7 +43,7 @@ Example::
 from __future__ import annotations
 
 import threading
-from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -61,6 +66,18 @@ from repro.artifacts.schema import (
     encode_mobility_tables,
 )
 from repro.artifacts.store import ArtifactStore
+from repro.backends.base import (
+    CellBatch,
+    ExecutorBackend,
+    SweepCell,
+    hardware_kwargs as _hardware_kwargs,  # noqa: F401  (compat re-export)
+)
+from repro.backends.plan import ExperimentPlan, build_plan
+from repro.backends.pool import (
+    ProcessPoolBackend,
+    _init_worker,  # noqa: F401  (compat re-export; was defined here)
+    _run_cell_in_worker,  # noqa: F401  (compat re-export; was defined here)
+)
 from repro.core.device import Device
 from repro.core.mobility import MobilityCalculator
 from repro.hw.model import DeviceModel, as_device_model
@@ -395,25 +412,8 @@ class ArtifactCache:
 # ----------------------------------------------------------------------
 # Event hooks
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class SweepCell:
-    """One cell of a sweep/grid: which spec on which device sizing.
-
-    ``device`` carries the full hardware model when the cell runs on one;
-    ``None`` means the homogeneous device implied by the scalar pair
-    (the historical behaviour, byte-identical artifacts and all).
-    """
-
-    spec: PolicySpec
-    n_rus: int
-    reconfig_latency: int
-    device: Optional[DeviceModel] = None
-
-    @property
-    def label(self) -> str:
-        if self.device is not None and not self.device.is_paper_path():
-            return f"{self.spec.label} @ {self.device.label}"
-        return f"{self.spec.label} @ {self.n_rus} RUs"
+# SweepCell lives in repro.backends.base now (backends consume it without
+# importing the session) and is re-exported here for compatibility.
 
 
 class SessionHooks:
@@ -467,61 +467,6 @@ class DeviceCellRecord:
 
 
 # ----------------------------------------------------------------------
-# Process-pool worker (module level so it pickles under spawn too)
-# ----------------------------------------------------------------------
-_WORKER_APPS: Tuple[TaskGraph, ...] = ()
-_WORKER_COMPILED: Optional[CompiledWorkload] = None
-
-
-def _init_worker(
-    apps: Tuple[TaskGraph, ...], compiled: Optional[CompiledWorkload] = None
-) -> None:
-    """One-time per-process setup: the apps and their compiled form.
-
-    Shipping the compiled workload in the initargs (instead of per
-    submitted cell) means each worker deserialises it exactly once, and
-    no cell pays compilation.
-    """
-    global _WORKER_APPS, _WORKER_COMPILED
-    _WORKER_APPS = apps
-    _WORKER_COMPILED = compiled if compiled is not None else CompiledWorkload.compile(apps)
-
-
-def _hardware_kwargs(cell: "SweepCell") -> Dict[str, object]:
-    """The ``run_simulation`` hardware arguments one cell implies."""
-    if cell.device is not None:
-        return {"device": cell.device}
-    return {"n_rus": cell.n_rus, "reconfig_latency": cell.reconfig_latency}
-
-
-def _run_cell_in_worker(
-    spec: PolicySpec,
-    n_rus: int,
-    reconfig_latency: int,
-    mobility: Optional[MobilityTables],
-    ideal_us: int,
-    trace: TraceMode = "full",
-    device: Optional[DeviceModel] = None,
-) -> PolicyRunRecord:
-    hardware: Dict[str, object] = (
-        {"device": device}
-        if device is not None
-        else {"n_rus": n_rus, "reconfig_latency": reconfig_latency}
-    )
-    result = run_simulation(
-        _WORKER_APPS,
-        advisor=spec.make_advisor(),
-        semantics=spec.make_semantics(),
-        mobility_tables=mobility,
-        ideal_makespan_us=ideal_us,
-        trace=trace,
-        compiled=_WORKER_COMPILED,
-        **hardware,
-    )
-    return PolicyRunRecord.from_result(spec.label, n_rus, result)
-
-
-# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class Session:
@@ -550,6 +495,16 @@ class Session:
         design-time artifacts survive the process and are shared with
         concurrent workers.  Mutually exclusive with ``cache`` — pass a
         preconfigured ``ArtifactCache(store=...)`` to combine both.
+    backend:
+        How batches execute: ``None`` (auto — inline for ``parallel=1``,
+        a reusable process pool otherwise, the historical behaviour), a
+        backend name (``"inline"``, ``"process-pool"``,
+        ``"work-stealing"``; the latter requires an artifact store — its
+        workers coordinate through it and ``repro worker --store DIR``
+        daemons on other hosts join in), or an
+        :class:`~repro.backends.base.ExecutorBackend` instance (used but
+        not owned: the caller closes it).  Backends the session resolves
+        from a name are owned and released by :meth:`close`.
     trace:
         Default trace mode for every run of this session: ``"full"``
         (classic record lists, the default), ``"aggregate"`` (O(1)
@@ -567,6 +522,7 @@ class Session:
         hooks: Iterable[SessionHooks] = (),
         cache: Optional[ArtifactCache] = None,
         store: Union[ArtifactStore, str, Path, None] = None,
+        backend: Union[str, ExecutorBackend, None] = None,
         trace: TraceMode = "full",
         **scenario_kwargs,
     ) -> None:
@@ -605,13 +561,32 @@ class Session:
         self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
         self._content_key = workload_content_key(workload)
         self._compiled_obj: Optional[CompiledWorkload] = None
-        # Worker pool reused across consecutive parallel sweeps (the
-        # compiled workload ships once per worker, not once per sweep).
-        # Guarded by a lock: a daemon shutdown path may close() the
-        # session from another thread while a sweep is in flight.
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_workers = 0
-        self._pool_lock = threading.Lock()
+        # Backend resolution is lazy (a process pool only spins up when a
+        # parallel batch actually runs) but name validation is eager so a
+        # typo — or work-stealing without a store — fails at construction.
+        self._backend_spec: Union[str, ExecutorBackend, None] = backend
+        if isinstance(backend, str):
+            from repro.backends import BACKEND_NAMES
+
+            name = backend.strip().lower()
+            name = "process-pool" if name == "process" else name
+            if name not in BACKEND_NAMES:
+                raise ExperimentError(
+                    f"unknown backend {backend!r} "
+                    f"(choose from {', '.join(BACKEND_NAMES)})"
+                )
+            if name == "work-stealing" and self.cache.store is None:
+                raise ExperimentError(
+                    "backend='work-stealing' needs an artifact store "
+                    "(Session(store=...) — workers coordinate through it)"
+                )
+            self._backend_spec = name
+        # Name-resolved backends are session-owned (released by close());
+        # an ExecutorBackend instance is the caller's to close.  Guarded
+        # by a lock: a daemon shutdown path may close() the session from
+        # another thread while a sweep is in flight.
+        self._owned_backends: Dict[str, ExecutorBackend] = {}
+        self._backend_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
     def compiled(self) -> CompiledWorkload:
@@ -623,13 +598,14 @@ class Session:
         return self._compiled_obj
 
     def close(self) -> None:
-        """Shut down the reusable worker pool (idempotent, thread-safe).
+        """Release the session-owned backends (idempotent, thread-safe).
 
-        Sessions are usable without ever calling this — the pool also
-        shuts down when the session is garbage-collected or the process
-        exits — but long-lived programs that are done sweeping should
-        release the workers eagerly.  ``with Session(...) as s:`` does it
-        automatically.
+        Sessions are usable without ever calling this — owned backends
+        also shut down when the session is garbage-collected or the
+        process exits — but long-lived programs that are done sweeping
+        should release the workers eagerly.  ``with Session(...) as s:``
+        does it automatically.  A backend *instance* passed to the
+        constructor is not owned and stays open for its owner.
 
         Safe to call any number of times, from any thread, including
         concurrently with an in-flight parallel sweep (the daemon
@@ -638,10 +614,10 @@ class Session:
         :class:`ExperimentError` — never a deadlock or an interpreter
         ``RuntimeError``.
         """
-        with self._pool_lock:
-            pool, self._pool, self._pool_workers = self._pool, None, 0
-        if pool is not None:
-            pool.shutdown()
+        with self._backend_lock:
+            owned, self._owned_backends = self._owned_backends, {}
+        for backend in owned.values():
+            backend.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -655,25 +631,38 @@ class Session:
         except Exception:
             pass
 
-    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
-        """A process pool with exactly ``workers`` workers, reused when the
-        previous batch asked for the same parallelism."""
-        compiled = self.compiled()  # outside the lock: may compute
-        stale: Optional[ProcessPoolExecutor] = None
-        with self._pool_lock:
-            if self._pool is not None and self._pool_workers == workers:
-                return self._pool
-            stale, self._pool, self._pool_workers = self._pool, None, 0
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self._apps, compiled),
-            )
-            self._pool = pool
-            self._pool_workers = workers
-        if stale is not None:
-            stale.shutdown()
-        return pool
+    def _backend_for(self, parallel: int) -> ExecutorBackend:
+        """The backend this batch runs on.
+
+        ``None`` auto-selects by parallelism (inline vs process pool —
+        the historical behaviour); a name resolves once and the instance
+        is cached on the session, so the process pool persists across
+        consecutive sweeps exactly as before.
+        """
+        spec = self._backend_spec
+        if isinstance(spec, ExecutorBackend):
+            return spec
+        name = spec if spec is not None else (
+            "inline" if parallel <= 1 else "process-pool"
+        )
+        with self._backend_lock:
+            backend = self._owned_backends.get(name)
+            if backend is None:
+                from repro.backends import resolve_backend
+
+                backend = resolve_backend(
+                    name, parallel=parallel, store=self.cache.store
+                )
+                self._owned_backends[name] = backend
+        return backend
+
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """The live process-pool executor, if any (legacy test seam)."""
+        backend = self._owned_backends.get("process-pool")
+        if backend is None and isinstance(self._backend_spec, ProcessPoolBackend):
+            backend = self._backend_spec
+        return backend.pool if isinstance(backend, ProcessPoolBackend) else None
 
     # -- hook fan-out ---------------------------------------------------
     def _emit(self, method: str, *args) -> None:
@@ -781,6 +770,41 @@ class Session:
         )
         return mobility, ideal
 
+    # -- cell construction ----------------------------------------------
+    def _sweep_cells(
+        self, specs: Sequence[PolicySpec], ru_counts: Optional[Sequence[int]]
+    ) -> List[SweepCell]:
+        if not specs:
+            raise ExperimentError("sweep requires at least one PolicySpec")
+        ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
+        return [
+            SweepCell(spec=spec, n_rus=rus, reconfig_latency=latency, device=model)
+            for rus, latency, model in (self._resolve_device(n) for n in ru_counts)
+            for spec in specs
+        ]
+
+    def _grid_cells(
+        self,
+        specs: Sequence[PolicySpec],
+        ru_counts: Optional[Sequence[int]],
+        reconfig_latencies: Optional[Sequence[int]],
+    ) -> List[SweepCell]:
+        if not specs:
+            raise ExperimentError("grid requires at least one PolicySpec")
+        ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
+        latencies = (
+            tuple(reconfig_latencies)
+            if reconfig_latencies is not None
+            else (self.device.reconfig_latency,)
+        )
+        return [
+            SweepCell(spec=spec, n_rus=rus, reconfig_latency=cell_lat, device=model)
+            for rus, cell_lat, model in (
+                self._resolve_device(n, lat) for lat in latencies for n in ru_counts
+            )
+            for spec in specs
+        ]
+
     # -- single runs ----------------------------------------------------
     def run(
         self,
@@ -855,19 +879,8 @@ class Session:
         flat :class:`PolicyRunRecord` per cell, so ``"aggregate"`` yields
         identical records while never materialising record lists.
         """
-        if not specs:
-            raise ExperimentError("sweep requires at least one PolicySpec")
         ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
-        cells = [
-            SweepCell(
-                spec=spec,
-                n_rus=rus,
-                reconfig_latency=latency,
-                device=model,
-            )
-            for rus, latency, model in (self._resolve_device(n) for n in ru_counts)
-            for spec in specs
-        ]
+        cells = self._sweep_cells(specs, ru_counts)
         sweep = SweepResult(title=title, ru_counts=ru_counts)
         for record in self._run_cells(cells, parallel, trace):
             sweep.add(record)
@@ -927,21 +940,7 @@ class Session:
         trace: Optional[TraceMode] = None,
     ) -> List[GridCellRecord]:
         """Cartesian product over specs x RU counts x latencies."""
-        if not specs:
-            raise ExperimentError("grid requires at least one PolicySpec")
-        ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
-        latencies = (
-            tuple(reconfig_latencies)
-            if reconfig_latencies is not None
-            else (self.device.reconfig_latency,)
-        )
-        cells = [
-            SweepCell(spec=spec, n_rus=rus, reconfig_latency=cell_lat, device=model)
-            for rus, cell_lat, model in (
-                self._resolve_device(n, lat) for lat in latencies for n in ru_counts
-            )
-            for spec in specs
-        ]
+        cells = self._grid_cells(specs, ru_counts, reconfig_latencies)
         records = self._run_cells(cells, parallel, trace)
         return [
             GridCellRecord(
@@ -953,112 +952,99 @@ class Session:
             for cell, record in zip(cells, records)
         ]
 
+    # -- planning -------------------------------------------------------
+    def plan(
+        self,
+        specs: Sequence[PolicySpec],
+        ru_counts: Optional[Sequence[int]] = None,
+        reconfig_latencies: Optional[Sequence[int]] = None,
+    ) -> ExperimentPlan:
+        """The explicit task DAG :meth:`sweep` (or :meth:`grid`, when
+        ``reconfig_latencies`` is given) would execute.
+
+        One ``compile`` root, one node per *distinct* design-time
+        artifact (mobility tables, ideal makespans — shared nodes
+        deduplicated by the same coordinates the artifact cache keys on),
+        one node per cell, one ``reduce`` sink.  Purely declarative:
+        nothing executes, nothing is cached.
+        """
+        if reconfig_latencies is not None:
+            cells = self._grid_cells(specs, ru_counts, reconfig_latencies)
+        else:
+            cells = self._sweep_cells(specs, ru_counts)
+        return build_plan(cells)
+
+    def _execute_plan(
+        self, plan: ExperimentPlan
+    ) -> List[Tuple[Optional[MobilityTables], int]]:
+        """Run the design-time phase of a plan through the artifact cache.
+
+        Nodes execute in topological order — each *distinct* artifact
+        exactly once, the dedup structural rather than a cache side
+        effect — and the result is the per-cell ``(mobility, ideal)``
+        pairs a :class:`CellBatch` carries.
+        """
+        # Each artifact node serves >= 1 cells with identical coordinates;
+        # any one of them can stand in when calling the cache.
+        representative: Dict[str, SweepCell] = {}
+        for i in range(len(plan.cells)):
+            for dep in plan.cell_node(i).deps:
+                representative.setdefault(dep, plan.cells[i])
+        mobility_for: Dict[str, MobilityTables] = {}
+        ideal_for: Dict[str, int] = {}
+        for node in plan.topological_order():
+            if node.kind == "compile":
+                self.compiled()
+            elif node.kind == "mobility":
+                cell = representative[node.key]
+                mobility_for[node.key] = self.mobility_tables(
+                    cell.n_rus, cell.reconfig_latency, device=cell.device
+                )
+            elif node.kind == "ideal":
+                cell = representative[node.key]
+                ideal_for[node.key] = self.ideal_makespan_us(
+                    cell.n_rus,
+                    semantics=cell.spec.make_semantics(),
+                    device=cell.device,
+                )
+        artifacts: List[Tuple[Optional[MobilityTables], int]] = []
+        for i in range(len(plan.cells)):
+            mobility: Optional[MobilityTables] = None
+            ideal: Optional[int] = None
+            for dep in plan.cell_node(i).deps:
+                if dep in mobility_for:
+                    mobility = mobility_for[dep]
+                elif dep in ideal_for:
+                    ideal = ideal_for[dep]
+            if ideal is None:  # pragma: no cover - build_plan guarantees it
+                raise ExperimentError(f"plan cell {i} has no ideal node")
+            artifacts.append((mobility, ideal))
+        return artifacts
+
     # -- execution ------------------------------------------------------
     def _run_cells(
         self, cells: List[SweepCell], parallel: int, trace: Optional[TraceMode] = None
     ) -> List[PolicyRunRecord]:
         if parallel < 1:
             raise ExperimentError(f"parallel must be >= 1, got {parallel}")
-        total = len(cells)
-        trace_mode = self._batch_trace(trace, total)
-        if parallel == 1 or total <= 1:
-            records = []
-            for done, cell in enumerate(cells, start=1):
-                self._emit("on_run_start", cell)
-                mobility, ideal = self._cell_artifacts(cell)
-                record = _run_cell_local(
-                    self._apps,
-                    cell,
-                    mobility,
-                    ideal,
-                    trace=trace_mode,
-                    extra_sinks=self._hook_sinks(cell),
-                    compiled=self.compiled(),
-                )
-                self._emit("on_run_end", cell, record)
-                self._emit("on_sweep_progress", done, total)
-                records.append(record)
-            return records
-        return self._run_cells_parallel(cells, parallel, trace_mode)
-
-    def _run_cells_parallel(
-        self, cells: List[SweepCell], parallel: int, trace_mode: TraceMode = "full"
-    ) -> List[PolicyRunRecord]:
+        cells = list(cells)
+        trace_mode = self._batch_trace(trace, len(cells))
         # Design-time phase stays in the parent so the cache is shared;
-        # workers only replay the run-time phase of each cell.  The pool
-        # persists on the session across consecutive sweeps (same
-        # parallelism → same warm workers, compiled workload shipped once).
-        artifacts = [self._cell_artifacts(cell) for cell in cells]
-        records: List[Optional[PolicyRunRecord]] = [None] * len(cells)
-        pool = self._get_pool(min(parallel, len(cells)))
-        try:
-            future_to_index = {}
-            for i, (cell, (mobility, ideal)) in enumerate(zip(cells, artifacts)):
-                self._emit("on_run_start", cell)
-                try:
-                    future = pool.submit(
-                        _run_cell_in_worker,
-                        cell.spec,
-                        cell.n_rus,
-                        cell.reconfig_latency,
-                        mobility,
-                        ideal,
-                        trace_mode,
-                        cell.device,
-                    )
-                except RuntimeError as exc:
-                    # close() raced this sweep and shut the pool down —
-                    # surface it as a library error, not an interpreter one.
-                    raise ExperimentError(
-                        f"session closed while a parallel sweep was in flight "
-                        f"({exc})"
-                    ) from None
-                future_to_index[future] = i
-            done_count = 0
-            pending = set(future_to_index)
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    i = future_to_index[future]
-                    try:
-                        records[i] = future.result()
-                    except CancelledError:
-                        raise ExperimentError(
-                            "session closed while a parallel sweep was in "
-                            "flight (pending cells cancelled)"
-                        ) from None
-                    done_count += 1
-                    self._emit("on_run_end", cells[i], records[i])
-                    self._emit("on_sweep_progress", done_count, len(cells))
-        except BaseException:
-            # A failed batch may have broken the pool (worker crash) —
-            # drop it so the next sweep starts from a fresh one.
-            self.close()
-            raise
-        missing = [i for i, r in enumerate(records) if r is None]
-        if missing:  # keeps cell/record pairing honest for grid()'s zip
-            raise ExperimentError(f"parallel sweep lost results for cells {missing}")
-        return records
-
-
-def _run_cell_local(
-    apps: Tuple[TaskGraph, ...],
-    cell: SweepCell,
-    mobility: Optional[MobilityTables],
-    ideal_us: int,
-    trace: TraceMode = "full",
-    extra_sinks: Sequence[TraceSink] = (),
-    compiled: Optional[CompiledWorkload] = None,
-) -> PolicyRunRecord:
-    result = run_simulation(
-        apps,
-        advisor=cell.spec.make_advisor(),
-        semantics=cell.spec.make_semantics(),
-        mobility_tables=mobility,
-        ideal_makespan_us=ideal_us,
-        trace=trace,
-        extra_sinks=extra_sinks,
-        compiled=compiled,
-        **_hardware_kwargs(cell),
-    )
-    return PolicyRunRecord.from_result(cell.spec.label, cell.n_rus, result)
+        # backends only replay the run-time phase of each cell.
+        artifacts = self._execute_plan(build_plan(cells))
+        batch = CellBatch(
+            workload=self.workload,
+            content_key=self._content_key,
+            compiled=self.compiled(),
+            cells=cells,
+            artifacts=artifacts,
+            trace_mode=trace_mode,
+            parallel=parallel,
+            started=lambda i: self._emit("on_run_start", cells[i]),
+            finished=lambda i, record: self._emit("on_run_end", cells[i], record),
+            progressed=lambda done, total: self._emit(
+                "on_sweep_progress", done, total
+            ),
+            sinks_for=lambda i: self._hook_sinks(cells[i]),
+        )
+        return self._backend_for(parallel).run_cells(batch)

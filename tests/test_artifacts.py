@@ -12,6 +12,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
+from repro.artifacts.store import KINDS
 from repro.artifacts import (
     ArtifactStore,
     arrival_fingerprint,
@@ -171,10 +172,11 @@ class TestStoreMechanics:
         store.put("ideal", k1, encode_ideal(k1, 1))
         store.put("mobility", k2, encode_mobility_tables(k2, {"G": {1: 0}}))
         info = store.describe()
-        assert info["entries"] == {"mobility": 1, "ideal": 1, "compiled": 0}
+        empty = {kind: 0 for kind in KINDS}
+        assert info["entries"] == {**empty, "mobility": 1, "ideal": 1}
         assert info["total_entries"] == 2 and info["size_bytes"] > 0
         assert store.clear() == 2
-        assert store.entry_counts() == {"mobility": 0, "ideal": 0, "compiled": 0}
+        assert store.entry_counts() == empty
 
 
 # ----------------------------------------------------------------------

@@ -193,7 +193,13 @@ class TestArtifactCache:
         ]
         session.sweep(specs, ru_counts=RU_SUBSET)
         assert session.cache.mobility_stats.computations == len(RU_SUBSET)
-        assert session.cache.mobility_stats.hits == (len(specs) - 1) * len(RU_SUBSET)
+        # Sharing across specs is structural now — the experiment plan has
+        # one mobility node per distinct (n_rus, latency), so a sweep asks
+        # the cache exactly once per node rather than once per cell.
+        assert session.cache.mobility_stats.hits == 0
+        session.sweep(specs, ru_counts=RU_SUBSET)
+        assert session.cache.mobility_stats.computations == len(RU_SUBSET)
+        assert session.cache.mobility_stats.hits == len(RU_SUBSET)
 
     def test_ideal_computed_once_per_rus(self, workload):
         session = Session(workload=workload)
