@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.backends.base import CellBatch, ExecutorBackend, SweepCell, run_cell
+from repro.backends.batch import CellBatchRunner, resolve_batch_size
 from repro.backends.inline import InlineBackend
 from repro.backends.plan import ExperimentPlan, PlanNode, build_plan
 from repro.backends.pool import ProcessPoolBackend
@@ -79,6 +80,7 @@ def resolve_backend(
 __all__ = [
     "BACKEND_NAMES",
     "CellBatch",
+    "CellBatchRunner",
     "CellQueue",
     "ExecutorBackend",
     "ExperimentPlan",
@@ -90,6 +92,7 @@ __all__ = [
     "active_sweeps",
     "build_plan",
     "resolve_backend",
+    "resolve_batch_size",
     "run_cell",
     "run_worker",
 ]

@@ -100,6 +100,14 @@ class CellBatch:
     backends can honour it (sink objects cannot cross a process
     boundary), remote backends ignore it — mirroring the historical
     ``parallel > 1`` behaviour.
+
+    ``batch_size`` is the in-process batching knob (see
+    :mod:`repro.backends.batch`): distributing backends move cells to
+    worker processes ``batch_size`` at a time — one submission / one
+    queue lease per *chunk* instead of per cell — with each chunk
+    executed back-to-back on a shared :class:`CellBatchRunner`.  Purely
+    an execution-granularity knob: records stay byte-identical to
+    ``batch_size=1`` and per-cell callbacks still fire per cell.
     """
 
     workload: Workload
@@ -109,6 +117,7 @@ class CellBatch:
     artifacts: List[Tuple[Optional[MobilityTables], int]]
     trace_mode: TraceMode = "full"
     parallel: int = 1
+    batch_size: int = 1
     started: Callable[[int], None] = _noop_started
     finished: Callable[[int, PolicyRunRecord], None] = _noop_finished
     progressed: Callable[[int, int], None] = _noop_progressed
@@ -120,6 +129,8 @@ class CellBatch:
                 f"batch has {len(self.cells)} cells but "
                 f"{len(self.artifacts)} artifact pairs"
             )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     @property
     def apps(self):

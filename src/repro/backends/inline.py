@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.backends.base import CellBatch, ExecutorBackend, run_cell
+from repro.backends.base import CellBatch, ExecutorBackend
+from repro.backends.batch import CellBatchRunner
 from repro.metrics.summary import PolicyRunRecord
 
 
@@ -17,6 +18,12 @@ class InlineBackend(ExecutorBackend):
     automatically for ``parallel=1`` batches; pick it explicitly
     (``Session(backend="inline")``) when stepping through a sweep under a
     debugger or profiling a single process.
+
+    The whole batch executes on one shared
+    :class:`~repro.backends.batch.CellBatchRunner`, so inline is the
+    degenerate maximal case of the ``batch_size`` knob — every cell
+    already shares one interpreter and one warm context; the knob only
+    changes how *distributing* backends chunk their work.
     """
 
     name = "inline"
@@ -24,18 +31,17 @@ class InlineBackend(ExecutorBackend):
     def run_cells(self, batch: CellBatch) -> List[PolicyRunRecord]:
         records: List[PolicyRunRecord] = []
         total = len(batch.cells)
+        runner = CellBatchRunner.from_batch(batch)
         for i, (cell, (mobility, ideal)) in enumerate(
             zip(batch.cells, batch.artifacts)
         ):
             batch.started(i)
-            record = run_cell(
-                batch.apps,
+            record = runner.run_one(
                 cell,
                 mobility,
                 ideal,
                 trace=batch.trace_mode,
                 extra_sinks=batch.sinks_for(i),
-                compiled=batch.compiled,
             )
             batch.finished(i, record)
             batch.progressed(i + 1, total)

@@ -21,6 +21,7 @@ from concurrent.futures import (
 from typing import Dict, List, Optional, Tuple
 
 from repro.backends.base import CellBatch, ExecutorBackend, SweepCell
+from repro.backends.batch import CellBatchRunner
 from repro.core.policy_spec import PolicySpec
 from repro.exceptions import ExperimentError
 from repro.hw.model import DeviceModel
@@ -75,6 +76,28 @@ def _run_cell_in_worker(
         **hardware,
     )
     return PolicyRunRecord.from_result(spec.label, n_rus, result)
+
+
+def _run_cell_chunk_in_worker(chunk_args: List[Tuple]) -> List[PolicyRunRecord]:
+    """Execute ``batch_size`` cells back-to-back in one worker call.
+
+    ``chunk_args`` is a list of ``(spec, n_rus, reconfig_latency,
+    mobility, ideal_us, trace, device)`` tuples; the whole chunk shares
+    the worker's warm apps/compiled context through one
+    :class:`~repro.backends.batch.CellBatchRunner`, so the per-cell
+    submit/pickle/IPC overhead is paid once per chunk.
+    """
+    runner = CellBatchRunner(_WORKER_APPS, _WORKER_COMPILED)
+    records: List[PolicyRunRecord] = []
+    for spec, n_rus, reconfig_latency, mobility, ideal_us, trace, device in chunk_args:
+        cell = SweepCell(
+            spec=spec,
+            n_rus=n_rus,
+            reconfig_latency=reconfig_latency,
+            device=device,
+        )
+        records.append(runner.run_one(cell, mobility, ideal_us, trace=trace))
+    return records
 
 
 # ----------------------------------------------------------------------
@@ -150,33 +173,48 @@ class ProcessPoolBackend(ExecutorBackend):
 
     # -- execution ------------------------------------------------------
     def run_cells(self, batch: CellBatch) -> List[PolicyRunRecord]:
+        n = len(batch.cells)
+        if n <= 1:
+            from repro.backends.inline import InlineBackend
+
+            return InlineBackend().run_cells(batch)
+        k = batch.batch_size
+        n_chunks = (n + k - 1) // k
         workers = batch.parallel if batch.parallel > 1 else (self.workers or 1)
-        workers = min(workers, len(batch.cells)) or 1
-        if workers <= 1 or len(batch.cells) <= 1:
+        workers = min(workers, n_chunks) or 1
+        if workers <= 1:
             # A one-worker pool would only add IPC overhead; fall back to
             # the inline semantics (including hook-sink support).
             from repro.backends.inline import InlineBackend
 
             return InlineBackend().run_cells(batch)
-        records: List[Optional[PolicyRunRecord]] = [None] * len(batch.cells)
+        records: List[Optional[PolicyRunRecord]] = [None] * n
         pool = self._get_pool(workers, batch)
         try:
-            future_to_index = {}
-            for i, (cell, (mobility, ideal)) in enumerate(
-                zip(batch.cells, batch.artifacts)
-            ):
-                batch.started(i)
-                try:
-                    future = pool.submit(
-                        _run_cell_in_worker,
-                        cell.spec,
-                        cell.n_rus,
-                        cell.reconfig_latency,
-                        mobility,
-                        ideal,
-                        batch.trace_mode,
-                        cell.device,
+            # Cells ship to workers in contiguous chunks of ``batch_size``
+            # (one submission, one result unpickle per chunk); per-cell
+            # callbacks still fire per cell, in chunk order.
+            future_to_chunk = {}
+            for start in range(0, n, k):
+                chunk = range(start, min(start + k, n))
+                chunk_args = []
+                for i in chunk:
+                    cell = batch.cells[i]
+                    mobility, ideal = batch.artifacts[i]
+                    batch.started(i)
+                    chunk_args.append(
+                        (
+                            cell.spec,
+                            cell.n_rus,
+                            cell.reconfig_latency,
+                            mobility,
+                            ideal,
+                            batch.trace_mode,
+                            cell.device,
+                        )
                     )
+                try:
+                    future = pool.submit(_run_cell_chunk_in_worker, chunk_args)
                 except RuntimeError as exc:
                     # close() raced this batch and shut the pool down —
                     # surface it as a library error, not an interpreter one.
@@ -184,23 +222,25 @@ class ProcessPoolBackend(ExecutorBackend):
                         f"backend closed while a parallel sweep was in flight "
                         f"({exc})"
                     ) from None
-                future_to_index[future] = i
+                future_to_chunk[future] = chunk
             done_count = 0
-            pending = set(future_to_index)
+            pending = set(future_to_chunk)
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    i = future_to_index[future]
+                    chunk = future_to_chunk[future]
                     try:
-                        records[i] = future.result()
+                        chunk_records = future.result()
                     except CancelledError:
                         raise ExperimentError(
                             "backend closed while a parallel sweep was in "
                             "flight (pending cells cancelled)"
                         ) from None
-                    done_count += 1
-                    batch.finished(i, records[i])
-                    batch.progressed(done_count, len(batch.cells))
+                    for i, record in zip(chunk, chunk_records):
+                        records[i] = record
+                        done_count += 1
+                        batch.finished(i, record)
+                        batch.progressed(done_count, n)
         except BaseException:
             # A failed batch may have broken the pool (worker crash) —
             # drop it so the next batch starts from a fresh one.
@@ -215,4 +255,10 @@ class ProcessPoolBackend(ExecutorBackend):
         return f"ProcessPoolBackend(workers={self.workers!r})"
 
 
-__all__ = ["ProcessPoolBackend", "SweepCell", "_init_worker", "_run_cell_in_worker"]
+__all__ = [
+    "ProcessPoolBackend",
+    "SweepCell",
+    "_init_worker",
+    "_run_cell_in_worker",
+    "_run_cell_chunk_in_worker",
+]

@@ -130,8 +130,20 @@ class CellQueue:
         return self._n_cells
 
     # -- coordinator side ----------------------------------------------
-    def publish(self, workload: Workload, tasks: Sequence[Dict], trace: str) -> None:
-        """Write the manifest and every per-cell task entry."""
+    def publish(
+        self,
+        workload: Workload,
+        tasks: Sequence[Dict],
+        trace: str,
+        batch_size: int = 1,
+    ) -> None:
+        """Write the manifest and every per-cell task entry.
+
+        ``batch_size`` is the sweep's preferred lease granularity —
+        workers without an explicit override lease that many cells per
+        queue pull (see :meth:`claim_many`).  Stored in the manifest so
+        external ``repro worker`` daemons pick it up too.
+        """
         self._n_cells = len(tasks)
         for payload in tasks:
             self.store.put(
@@ -149,6 +161,7 @@ class CellQueue:
                     "n_cells": len(tasks),
                     "workload": workload_to_payload(workload),
                     "trace": trace,
+                    "batch_size": int(batch_size),
                 },
             ),
         )
@@ -179,13 +192,37 @@ class CellQueue:
         """Claim one unfinished, unleased cell; ``None`` when nothing is
         claimable right now (all done, or all leased by live workers).
 
+        Single-cell special case of :meth:`claim_many` (identical scan
+        and RNG consumption: one shuffle per call).
+        """
+        tasks = self.claim_many(worker_id, ttl_s, 1, rng)
+        return tasks[0] if tasks else None
+
+    def claim_many(
+        self,
+        worker_id: str,
+        ttl_s: float,
+        limit: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[Dict]:
+        """Claim up to ``limit`` unfinished, unleased cells in one scan.
+
+        The work-stealing ``batch_size`` primitive: one shuffled pass
+        over the queue leases up to ``limit`` cells (instead of one scan
+        — and one full directory walk — per cell).  Returns the claimed
+        task payloads; empty when nothing is claimable right now (all
+        done, or all leased by live workers).
+
         Stale leases encountered on the way are reclaimed in place.  The
         scan order is shuffled per call so concurrent workers spread over
-        the queue instead of contending cell by cell.
+        the queue instead of contending cell by cell.  All ``limit``
+        leases are taken up front, so size ``ttl_s`` above the expected
+        duration of a whole *chunk*, not a single cell.
         """
         order = list(range(self.n_cells))
         (rng or random).shuffle(order)
         now = time.time()
+        claimed: List[Dict] = []
         for i in order:
             key = self.cell_key(i)
             if self.store.exists("result", key):
@@ -209,8 +246,10 @@ class CellQueue:
                 # the lease so the coordinator's republish can take effect.
                 self.store.remove("lease", key)
                 continue
-            return task
-        return None
+            claimed.append(task)
+            if len(claimed) >= limit:
+                break
+        return claimed
 
     def renew(self, index: int, worker_id: str, ttl_s: float) -> None:
         """Refresh a held lease (long cells heartbeat between events)."""

@@ -164,7 +164,12 @@ class WorkStealingBackend(ExecutorBackend):
         ]
         sweep_id = sweep_queue_id(batch.content_key, n)
         queue = CellQueue(self.store, sweep_id, n_cells=n)
-        queue.publish(batch.workload, tasks, str(batch.trace_mode))
+        queue.publish(
+            batch.workload,
+            tasks,
+            str(batch.trace_mode),
+            batch_size=batch.batch_size,
+        )
         if self.on_published is not None:
             self.on_published(queue)
         for i in range(n):

@@ -23,7 +23,8 @@ from typing import Dict, Optional, Union
 from repro.artifacts.keys import compiled_key, workload_content_key
 from repro.artifacts.schema import decode_compiled
 from repro.artifacts.store import ArtifactStore
-from repro.backends.base import SweepCell, run_cell
+from repro.backends.base import SweepCell
+from repro.backends.batch import CellBatchRunner
 from repro.backends.queue import (
     CellQueue,
     active_sweeps,
@@ -44,12 +45,20 @@ class _SweepContext:
         self.queue = queue
         workload = workload_from_payload(meta["workload"])
         self.apps = workload.apps
+        #: The coordinator's preferred lease granularity (cells per pull);
+        #: absent in pre-batching manifests, where it defaults to 1.
+        try:
+            self.batch_size = max(1, int(meta.get("batch_size", 1)))
+        except (TypeError, ValueError):
+            self.batch_size = 1
         content = workload_content_key(workload)
         compiled = None
         stored = store.load("compiled", compiled_key(content), decode_compiled)
         if stored is not None and stored.matches(self.apps):
             compiled = stored
         self.compiled: CompiledWorkload = compiled or CompiledWorkload.compile(self.apps)
+        #: Shared warm context every cell of this sweep executes on.
+        self.runner = CellBatchRunner(self.apps, self.compiled)
 
     def execute(self, task: Dict, worker_id: str) -> None:
         index = task["index"]
@@ -66,13 +75,11 @@ class _SweepContext:
                 reconfig_latency=task["reconfig_latency"],
                 device=device,
             )
-            record = run_cell(
-                self.apps,
+            record = self.runner.run_one(
                 cell,
                 task["mobility"],
                 task["ideal_us"],
                 trace=task["trace"],
-                compiled=self.compiled,
             )
         except BaseException as exc:
             # Deterministic cell failures (a raising policy, a bad spec)
@@ -97,6 +104,7 @@ def run_worker(
     max_idle_s: Optional[float] = None,
     once: bool = False,
     seed: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, int]:
     """Pull and execute sweep cells until there is nothing left to do.
 
@@ -112,10 +120,18 @@ def run_worker(
         or — with ``once=True`` — the first drained scan.
     lease_ttl:
         Seconds a claimed cell may run before other workers treat the
-        lease as stale and reclaim it; size it above the slowest cell.
+        lease as stale and reclaim it; with ``batch_size > 1`` every
+        leased cell of a chunk waits for its predecessors, so size it
+        above the slowest *chunk*.
     seed:
         Seeds the claim-order shuffle (used by the partition property
         tests; irrelevant for correctness).
+    batch_size:
+        Cells leased per queue pull (one shuffled scan claims the whole
+        chunk, executed back-to-back on the sweep's warm context).
+        ``None`` defers to each sweep manifest's published ``batch_size``
+        (default 1), so a ``--batch-size`` on the coordinating sweep
+        reaches external daemons too.
 
     Returns counters: ``{"completed": N, "failed": N, "sweeps": N}``.
     """
@@ -145,16 +161,18 @@ def run_worker(
             ctx = _context(sid)
             if ctx is None:
                 continue
+            chunk = max(1, batch_size if batch_size is not None else ctx.batch_size)
             while True:
-                task = ctx.queue.claim(worker_id, lease_ttl, rng)
-                if task is None:
+                tasks = ctx.queue.claim_many(worker_id, lease_ttl, chunk, rng)
+                if not tasks:
                     break
-                ctx.execute(task, worker_id)
-                result = ctx.queue.result(task["index"])
-                if result is not None and result.get("error"):
-                    stats["failed"] += 1
-                else:
-                    stats["completed"] += 1
+                for task in tasks:
+                    ctx.execute(task, worker_id)
+                    result = ctx.queue.result(task["index"])
+                    if result is not None and result.get("error"):
+                        stats["failed"] += 1
+                    else:
+                        stats["completed"] += 1
                 progressed = True
         if sweep_id is not None:
             ctx = contexts.get(sweep_id)

@@ -55,6 +55,7 @@ def run_policy_sweep(
     store=None,
     device=None,
     backend=None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Run every (spec, n_rus) cell on the workload.
 
@@ -70,7 +71,9 @@ def run_policy_sweep(
     long workloads.  ``backend`` selects the sweep execution backend
     (``"inline"``, ``"process-pool"``, ``"work-stealing"`` or an
     :class:`~repro.backends.base.ExecutorBackend` instance; see
-    ``docs/backends.md``).
+    ``docs/backends.md``); ``batch_size`` sets how many cells each
+    worker executes per submission (byte-identical records for any
+    value — pure wall-clock tuning).
     """
     if workload is None:
         workload = paper_evaluation_workload()
@@ -82,7 +85,13 @@ def run_policy_sweep(
         store=store,
         backend=backend,
     )
-    return session.sweep(specs, ru_counts=ru_counts, title=title, parallel=parallel)
+    return session.sweep(
+        specs,
+        ru_counts=ru_counts,
+        title=title,
+        parallel=parallel,
+        batch_size=batch_size,
+    )
 
 
 def run_fig9a(
@@ -92,11 +101,12 @@ def run_fig9a(
     trace: str = "full",
     store=None,
     backend=None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 9a: reuse rates, ASAP loading (mobility 0 everywhere)."""
     return run_policy_sweep(
         fig9a_specs(), "Fig. 9a — reuse rate (%)", workload, ru_counts, parallel,
-        trace=trace, store=store, backend=backend,
+        trace=trace, store=store, backend=backend, batch_size=batch_size,
     )
 
 
@@ -107,6 +117,7 @@ def run_fig9b(
     trace: str = "full",
     store=None,
     backend=None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 9b: reuse rates with the Skip Event feature."""
     return run_policy_sweep(
@@ -118,6 +129,7 @@ def run_fig9b(
         trace=trace,
         store=store,
         backend=backend,
+        batch_size=batch_size,
     )
 
 
@@ -128,6 +140,7 @@ def run_fig9c(
     trace: str = "full",
     store=None,
     backend=None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 9c: remaining reconfiguration overhead (%)."""
     return run_policy_sweep(
@@ -139,6 +152,7 @@ def run_fig9c(
         trace=trace,
         store=store,
         backend=backend,
+        batch_size=batch_size,
     )
 
 

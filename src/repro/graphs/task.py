@@ -14,7 +14,7 @@ Time is expressed in integer microseconds throughout the library; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import FrozenInstanceError, dataclass
 from typing import NamedTuple
 
 
@@ -82,7 +82,6 @@ class TaskSpec:
         )
 
 
-@dataclass(frozen=True)
 class TaskInstance:
     """One dynamic occurrence of a task: node ``node_id`` of application
     instance number ``app_index`` in the executed sequence.
@@ -90,11 +89,27 @@ class TaskInstance:
     The simulator works on instances; the replacement policies mostly work
     on :class:`ConfigId` (reuse is a property of configurations, not
     instances).
+
+    Hand-written frozen ``__slots__`` class rather than a dataclass: the
+    manager's hot loop creates one per dispatched task and carries it
+    through every event payload, and ``dataclass(slots=True)`` needs
+    Python 3.10 while this library supports 3.9.  Semantics match the
+    previous frozen dataclass (keyword construction, value equality,
+    hashable, immutable).
     """
 
-    app_index: int
-    config: ConfigId
-    exec_time: int
+    __slots__ = ("app_index", "config", "exec_time")
+
+    def __init__(self, app_index: int, config: ConfigId, exec_time: int) -> None:
+        object.__setattr__(self, "app_index", app_index)
+        object.__setattr__(self, "config", config)
+        object.__setattr__(self, "exec_time", exec_time)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
 
     @property
     def node_id(self) -> int:
@@ -103,6 +118,27 @@ class TaskInstance:
     @property
     def graph_name(self) -> str:
         return self.config.graph_name
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TaskInstance):
+            return (
+                self.app_index == other.app_index
+                and self.config == other.config
+                and self.exec_time == other.exec_time
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.app_index, self.config, self.exec_time))
+
+    def __reduce__(self):
+        return (TaskInstance, (self.app_index, self.config, self.exec_time))
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskInstance(app_index={self.app_index!r}, "
+            f"config={self.config!r}, exec_time={self.exec_time!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return f"app{self.app_index}:{self.config}"

@@ -72,6 +72,7 @@ from repro.backends.base import (
     SweepCell,
     hardware_kwargs as _hardware_kwargs,  # noqa: F401  (compat re-export)
 )
+from repro.backends.batch import resolve_batch_size
 from repro.backends.plan import ExperimentPlan, build_plan
 from repro.backends.pool import (
     ProcessPoolBackend,
@@ -157,9 +158,11 @@ class ArtifactCache:
         self._mobility: Dict[Tuple, MobilityTables] = {}
         self._compiled: Dict[str, CompiledWorkload] = {}
         self._calculators: Dict[Tuple, MobilityCalculator] = {}
+        self._records: Dict[Tuple, "PolicyRunRecord"] = {}
         self.ideal_stats = CacheStats()
         self.mobility_stats = CacheStats()
         self.compiled_stats = CacheStats()
+        self.record_stats = CacheStats()
 
     @staticmethod
     def _device_memory_key(device: Optional[DeviceModel]) -> Optional[str]:
@@ -213,7 +216,33 @@ class ArtifactCache:
             "ideal": self.ideal_stats.as_dict(),
             "mobility": self.mobility_stats.as_dict(),
             "compiled": self.compiled_stats.as_dict(),
+            "records": self.record_stats.as_dict(),
         }
+
+    # -- run-record memo (memory tier only) -----------------------------
+    # The simulator is deterministic: a cell's summary record is a pure
+    # function of (workload content, spec, hardware, trace mode).  Warm
+    # sessions therefore reuse finished records instead of re-simulating
+    # identical cells — the second identical sweep on a session, or the
+    # overlap between ablation studies sharing one cache, costs dict
+    # lookups instead of sim time.  Memory tier only: records are cheap
+    # to recompute relative to disk churn, and the disk tier stays
+    # reserved for design-time artifacts.
+    def run_record(self, key: Tuple) -> Optional["PolicyRunRecord"]:
+        """A memoized cell record, or ``None`` (counts hit/miss stats)."""
+        record = self._records.get(key)
+        if record is not None:
+            self.record_stats.hits += 1
+        else:
+            self.record_stats.misses += 1
+        return record
+
+    def store_run_record(self, key: Tuple, record: "PolicyRunRecord") -> None:
+        self._records[key] = record
+
+    def forget_records(self) -> None:
+        """Drop every memoized run record (design-time artifacts stay)."""
+        self._records.clear()
 
     def compiled_workload(
         self, content_key: str, apps: Sequence[TaskGraph]
@@ -512,6 +541,24 @@ class Session:
         path (events streamed to disk, aggregate counters in memory; only
         valid for single runs, not sweeps).  Individual ``run``/``sweep``
         /``grid`` calls may override it.
+    batch_size:
+        Default in-process batching granularity for every batch of this
+        session (see :mod:`repro.backends.batch`): distributing backends
+        move ``batch_size`` cells per worker submission / queue lease,
+        each chunk sharing one warm
+        :class:`~repro.backends.batch.CellBatchRunner`.  Purely a
+        throughput knob — records are byte-identical for any value.
+        Individual ``sweep``/``device_sweep``/``grid`` calls may
+        override it.
+    record_reuse:
+        Reuse memoized cell records on warm sweeps (default ``True``).
+        The simulator is deterministic, so a cell this session's cache
+        has already finished — same workload content, policy spec,
+        hardware and trace mode — is served from memory instead of
+        re-simulated; per-cell hooks still fire, and cells observed by
+        hook trace sinks always re-execute (the sinks need the event
+        stream).  Pass ``False`` to force every sweep to re-simulate,
+        or call :meth:`forget_records` to drop the memo.
     """
 
     def __init__(
@@ -524,6 +571,8 @@ class Session:
         store: Union[ArtifactStore, str, Path, None] = None,
         backend: Union[str, ExecutorBackend, None] = None,
         trace: TraceMode = "full",
+        batch_size: int = 1,
+        record_reuse: bool = True,
         **scenario_kwargs,
     ) -> None:
         if workload is None:
@@ -558,6 +607,8 @@ class Session:
         self.cache = cache or ArtifactCache(store=store)
         self.hooks: Tuple[SessionHooks, ...] = tuple(hooks)
         self.trace_mode: TraceMode = trace
+        self.batch_size: int = resolve_batch_size(batch_size)
+        self.record_reuse: bool = bool(record_reuse)
         self._apps: Tuple[TaskGraph, ...] = tuple(workload.apps)
         self._content_key = workload_content_key(workload)
         self._compiled_obj: Optional[CompiledWorkload] = None
@@ -868,6 +919,7 @@ class Session:
         title: str = "sweep",
         parallel: int = 1,
         trace: Optional[TraceMode] = None,
+        batch_size: Optional[int] = None,
     ) -> SweepResult:
         """Run every ``(spec, n_rus)`` cell; returns a :class:`SweepResult`.
 
@@ -878,11 +930,13 @@ class Session:
         the session trace mode for every cell — sweeps only retain the
         flat :class:`PolicyRunRecord` per cell, so ``"aggregate"`` yields
         identical records while never materialising record lists.
+        ``batch_size`` overrides the session default chunking granularity
+        (cells per worker submission; byte-identical records either way).
         """
         ru_counts = tuple(ru_counts) if ru_counts is not None else (self.device.n_rus,)
         cells = self._sweep_cells(specs, ru_counts)
         sweep = SweepResult(title=title, ru_counts=ru_counts)
-        for record in self._run_cells(cells, parallel, trace):
+        for record in self._run_cells(cells, parallel, trace, batch_size):
             sweep.add(record)
         return sweep
 
@@ -892,6 +946,7 @@ class Session:
         devices: Sequence[Union[Device, DeviceModel]],
         parallel: int = 1,
         trace: Optional[TraceMode] = None,
+        batch_size: Optional[int] = None,
     ) -> List["DeviceCellRecord"]:
         """Run every ``(spec, device)`` cell over explicit hardware models.
 
@@ -917,7 +972,7 @@ class Session:
             for model in models
             for spec in specs
         ]
-        records = self._run_cells(cells, parallel, trace)
+        records = self._run_cells(cells, parallel, trace, batch_size)
         return [
             DeviceCellRecord(
                 spec_label=cell.spec.label,
@@ -938,10 +993,11 @@ class Session:
         reconfig_latencies: Optional[Sequence[int]] = None,
         parallel: int = 1,
         trace: Optional[TraceMode] = None,
+        batch_size: Optional[int] = None,
     ) -> List[GridCellRecord]:
         """Cartesian product over specs x RU counts x latencies."""
         cells = self._grid_cells(specs, ru_counts, reconfig_latencies)
-        records = self._run_cells(cells, parallel, trace)
+        records = self._run_cells(cells, parallel, trace, batch_size)
         return [
             GridCellRecord(
                 spec_label=cell.spec.label,
@@ -1022,29 +1078,108 @@ class Session:
         return artifacts
 
     # -- execution ------------------------------------------------------
+    def forget_records(self) -> None:
+        """Drop the cache's memoized run records (forces re-simulation).
+
+        The memo lives on the session's :class:`ArtifactCache`, so a
+        shared cache forgets for every session using it.
+        """
+        self.cache.forget_records()
+
+    def _record_key(self, cell: SweepCell, trace_mode: TraceMode) -> Tuple:
+        """Memo key for one cell's summary record.
+
+        The record is a pure function of the workload content and the
+        cell coordinates; equal specs/devices pickle identically (frozen
+        dataclasses of plain values), and a spurious byte difference
+        only costs a cache miss, never a wrong record.
+        """
+        import pickle
+
+        return (
+            self._content_key,
+            trace_mode,
+            pickle.dumps(
+                (cell.spec, cell.n_rus, cell.reconfig_latency, cell.device),
+                protocol=4,
+            ),
+        )
+
     def _run_cells(
-        self, cells: List[SweepCell], parallel: int, trace: Optional[TraceMode] = None
+        self,
+        cells: List[SweepCell],
+        parallel: int,
+        trace: Optional[TraceMode] = None,
+        batch_size: Optional[int] = None,
     ) -> List[PolicyRunRecord]:
         if parallel < 1:
             raise ExperimentError(f"parallel must be >= 1, got {parallel}")
         cells = list(cells)
         trace_mode = self._batch_trace(trace, len(cells))
+        total = len(cells)
+        # Warm-session record reuse: deterministic sim means a cell the
+        # cache already finished (same content/spec/hardware/trace) is
+        # served from memory.  JSONL trace paths are side-effecting
+        # (they write a file), so only the pure modes are memoizable;
+        # cells a hook wants to observe through trace sinks re-execute.
+        reusable = self.record_reuse and trace_mode in ("full", "aggregate")
+        # trace_sinks is called exactly once per cell per sweep (hooks may
+        # allocate a sink per call), and a sinked cell always re-executes.
+        cell_sinks: List[Tuple[TraceSink, ...]] = [
+            self._hook_sinks(cell) if self.hooks else () for cell in cells
+        ]
+        records: List[Optional[PolicyRunRecord]] = [None] * total
+        keys: List[Optional[Tuple]] = [None] * total
+        pending: List[int] = []
+        for i, cell in enumerate(cells):
+            if not reusable:
+                pending.append(i)
+                continue
+            keys[i] = self._record_key(cell, trace_mode)
+            hit = self.cache.run_record(keys[i])
+            if hit is not None and not cell_sinks[i]:
+                records[i] = hit
+            else:
+                pending.append(i)
+        # Replay the per-cell lifecycle for reused cells up front — the
+        # hook contract (start/end pair per cell, monotone progress) is
+        # identical whether a record was simulated or served warm.
+        done = 0
+        for i in range(total):
+            if records[i] is None:
+                continue
+            self._emit("on_run_start", cells[i])
+            self._emit("on_run_end", cells[i], records[i])
+            done += 1
+            self._emit("on_sweep_progress", done, total)
+        if not pending:
+            return list(records)  # type: ignore[arg-type]
+        sub_cells = [cells[i] for i in pending]
         # Design-time phase stays in the parent so the cache is shared;
         # backends only replay the run-time phase of each cell.
-        artifacts = self._execute_plan(build_plan(cells))
+        artifacts = self._execute_plan(build_plan(sub_cells))
+        base_done = done
         batch = CellBatch(
             workload=self.workload,
             content_key=self._content_key,
             compiled=self.compiled(),
-            cells=cells,
+            cells=sub_cells,
             artifacts=artifacts,
             trace_mode=trace_mode,
             parallel=parallel,
-            started=lambda i: self._emit("on_run_start", cells[i]),
-            finished=lambda i, record: self._emit("on_run_end", cells[i], record),
-            progressed=lambda done, total: self._emit(
-                "on_sweep_progress", done, total
+            batch_size=resolve_batch_size(batch_size, self.batch_size),
+            started=lambda j: self._emit("on_run_start", sub_cells[j]),
+            finished=lambda j, record: self._emit(
+                "on_run_end", sub_cells[j], record
             ),
-            sinks_for=lambda i: self._hook_sinks(cells[i]),
+            progressed=lambda d, _t: self._emit(
+                "on_sweep_progress", base_done + d, total
+            ),
+            sinks_for=lambda j: cell_sinks[pending[j]],
         )
-        return self._backend_for(parallel).run_cells(batch)
+        fresh = self._backend_for(parallel).run_cells(batch)
+        for j, i in enumerate(pending):
+            records[i] = fresh[j]
+            if keys[i] is not None:
+                self.cache.store_run_record(keys[i], fresh[j])
+        return list(records)  # type: ignore[arg-type]

@@ -1,0 +1,82 @@
+"""Struct-of-arrays runtime state for the execution manager.
+
+The manager historically kept its per-run bookkeeping in per-instance
+dicts and scattered object attributes: every application instance copied
+a ``{node_id: pred_count}`` dict, the loaded-configuration location map
+mixed ``None`` with ints, and the per-RU claim bookkeeping lived behind
+attribute chains (``ru.pending.config[1]``) walked on every ready-scan.
+
+:class:`EngineState` replaces all of that with flat integer columns,
+preallocated **once** from a :class:`~repro.workloads.compiled.
+CompiledWorkload` before the event loop starts:
+
+* node-level columns are indexed by the *flat node slot* — the same
+  ``app_offsets[app] + rec_position`` index the compiled reference
+  string and the incremental Dynamic-List window already use, so one
+  integer addresses a task instance everywhere;
+* config-level columns are indexed by the dense interned config id;
+* RU-level columns are parallel to the device's RU list.
+
+Columns are plain Python lists (element reads avoid the int boxing an
+``array('q')`` pays per access; the immutable *templates* they are
+seeded from live in the compiled workload as ``array('q')``/tuples).
+The object-based scratch views (``_ScratchContext`` and friends) remain
+the advisor-facing API — they are windows over these columns, so the
+policy contract is unchanged.  See docs/performance.md.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.compiled import CompiledWorkload
+
+#: Sentinel for "no RU" / "no config" in the integer columns (replaces
+#: the old ``None`` entries so hot-path comparisons stay int-vs-int).
+NO_INDEX = -1
+
+
+class EngineState:
+    """Preallocated runtime columns for one simulation run.
+
+    Sized once from the compiled workload and the RU count; the manager
+    binds each column to a local before its hot loops.  All columns use
+    :data:`NO_INDEX` (-1), never ``None``, as the absent sentinel.
+    """
+
+    __slots__ = (
+        "remaining",
+        "unfinished",
+        "skipped",
+        "loc",
+        "win_counts",
+        "ru_cid",
+        "ru_app",
+        "ru_flat",
+        "apps_left",
+    )
+
+    def __init__(self, compiled: CompiledWorkload, n_rus: int) -> None:
+        n_configs = compiled.n_configs
+        #: Unmet-predecessor count per flat node slot (len ``n_tasks``);
+        #: seeded from the compiled per-instance template in one C call.
+        self.remaining: List[int] = list(compiled.pred_template_flat)
+        #: Tasks left per application instance (len ``n_apps``).
+        self.unfinished: List[int] = list(compiled.app_n_tasks)
+        #: Skip-events taken per application instance (Fig. 8 counter).
+        self.skipped: List[int] = [0] * compiled.n_apps
+        #: Where each loaded config lives: dense config id -> RU index.
+        self.loc: List[int] = [NO_INDEX] * n_configs
+        #: Dynamic-List window reference count per dense config id.
+        self.win_counts: List[int] = [0] * n_configs
+        #: Dense config id currently held by each RU.
+        self.ru_cid: List[int] = [NO_INDEX] * n_rus
+        #: Application instance of each RU's claimed/executing task.
+        self.ru_app: List[int] = [NO_INDEX] * n_rus
+        #: Flat node slot of each RU's claimed/executing task.  Written at
+        #: claim time and stable until the next claim (a claimed or
+        #: executing RU is never a replacement candidate), so both the
+        #: ready-scan and the end-of-execution handler read it directly.
+        self.ru_flat: List[int] = [NO_INDEX] * n_rus
+        #: Applications with ``unfinished > 0`` — the run-completion test.
+        self.apps_left: int = compiled.n_apps

@@ -23,8 +23,10 @@ from typing import FrozenSet, Optional, Tuple
 
 from repro.graphs.task import ConfigId, TaskInstance
 from repro.sim.ru import RUView
+from repro.util.slots import add_slots
 
 
+@add_slots
 @dataclass(frozen=True)
 class DecisionContext:
     """Everything a replacement policy may look at for one decision.
@@ -85,6 +87,7 @@ class DecisionContext:
     skipped_events: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class Decision:
     """Advisor verdict for one load attempt.

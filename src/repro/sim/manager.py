@@ -43,8 +43,13 @@ remaining sequence), the oracle view is a lazy slice of the precompiled
 flat reference string, decision contexts and RU snapshots are per-manager
 scratch structures reused across decisions, and free RUs / ready
 executions / busy configurations are tracked in dedicated collections so
-no per-event full-device scan remains.  None of this changes a single
-emitted trace event — equivalence is pinned event-for-event by
+no per-event full-device scan remains.  Runtime bookkeeping is columnar:
+all per-node, per-config and per-RU mutable state lives in the flat
+integer columns of :class:`~repro.sim.columns.EngineState`, preallocated
+once from the compiled workload — the event loop indexes lists by the
+flat node slot (``app_offsets[app] + rec_position``) instead of building
+per-instance dicts or chasing object attributes.  None of this changes a
+single emitted trace event — equivalence is pinned event-for-event by
 ``tests/test_compiled_equivalence.py``.
 """
 
@@ -58,6 +63,7 @@ from repro.exceptions import PolicyError, SimulationError
 from repro.graphs.task import ConfigId, TaskInstance
 from repro.graphs.task_graph import TaskGraph
 from repro.hw.model import DeviceModel, as_device_model
+from repro.sim.columns import NO_INDEX, EngineState
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.interface import Decision, ReplacementAdvisor, resolve_hook
 from repro.sim.ru import RU, RUState
@@ -99,30 +105,31 @@ _LOADED = RUState.LOADED
 
 
 class _AppRun:
-    """Runtime bookkeeping for one application instance."""
+    """Read-only view of one application instance's runtime state.
 
-    __slots__ = (
-        "index",
-        "capp",
-        "remaining_preds",
-        "done",
-        "unfinished",
-        "arrival_time",
-    )
+    The mutable bookkeeping lives in the manager's
+    :class:`~repro.sim.columns.EngineState` columns; this object is the
+    stable introspection surface (``mgr.apps[i].capp`` etc.) kept for
+    advisors, tests and tooling.  The hot loop indexes the columns
+    directly and never touches these views.
+    """
 
-    def __init__(self, index: int, capp: CompiledApp, arrival_time: int) -> None:
+    __slots__ = ("index", "capp", "arrival_time", "_state")
+
+    def __init__(
+        self, index: int, capp: CompiledApp, arrival_time: int, state: EngineState
+    ) -> None:
         self.index = index
         self.capp = capp
-        self.remaining_preds: Dict[int, int] = dict(capp.pred_counts)
-        self.done: set = set()
-        self.unfinished = capp.n_tasks
         self.arrival_time = arrival_time
+        self._state = state
 
-    def deps_met(self, node_id: int) -> bool:
-        return self.remaining_preds[node_id] == 0
+    @property
+    def unfinished(self) -> int:
+        return self._state.unfinished[self.index]
 
     def complete(self) -> bool:
-        return self.unfinished == 0
+        return self._state.unfinished[self.index] == 0
 
 
 class _ScratchRUView:
@@ -315,8 +322,19 @@ class ExecutionManager:
             None if self._fixed_latency is not None else compiled.load_costs(device)
         )
 
+        # Columnar runtime state: every mutable per-node / per-config /
+        # per-RU quantity lives in preallocated integer columns (see
+        # repro.sim.columns); the hot loops below bind them to locals.
+        state = EngineState(compiled, device.n_rus)
+        self.state = state
+        self._n_apps = compiled.n_apps
+        #: Per instance: compiled graph and task count (flat, no object hop).
+        self._app_capps: List[CompiledApp] = [
+            compiled.graphs[gi] for gi in compiled.app_graph
+        ]
+        self._app_ntasks = compiled.app_n_tasks
         self.apps: List[_AppRun] = [
-            _AppRun(i, compiled.app(i), self._arrivals[i])
+            _AppRun(i, self._app_capps[i], self._arrivals[i], state)
             for i in range(compiled.n_apps)
         ]
         self.rus: List[RU] = [
@@ -413,12 +431,16 @@ class ExecutionManager:
         #: True only while recovering from an idle-skip stall (see
         #: :meth:`_break_idle_skip_stall`).
         self._idle_stall = False
-        #: Events skipped so far per application instance (Fig. 8 counter).
-        self.skipped_events: Dict[int, int] = {}
-        #: Where each loaded config lives: dense config id -> RU index.
-        self._loc: List[Optional[int]] = [None] * compiled.n_configs
-        #: Dense config id currently held by each RU (parallel to rus).
-        self._ru_cid: List[Optional[int]] = [None] * device.n_rus
+        #: Events skipped so far per application instance (Fig. 8 counter)
+        #: — the pre-zeroed ``EngineState.skipped`` column.
+        self.skipped_events: List[int] = state.skipped
+        #: Column aliases (see EngineState for semantics; -1 = NO_INDEX).
+        self._remaining = state.remaining
+        self._unfinished = state.unfinished
+        self._loc = state.loc
+        self._ru_cid = state.ru_cid
+        self._ru_app = state.ru_app
+        self._ru_flat = state.ru_flat
         #: Remaining unconditional delay budget per (app_index, node_id).
         self._forced_delays: Dict[Tuple[int, int], int] = (
             dict(forced_delays) if forced_delays else {}
@@ -428,7 +450,7 @@ class ExecutionManager:
         # reference counts per dense config for flat positions
         # [_win_rem, _win_add), advanced monotonically with the dispatch
         # pointer, the current application and the clock.
-        self._win_counts: List[int] = [0] * compiled.n_configs
+        self._win_counts: List[int] = state.win_counts
         self._win_add = 0
         self._win_rem = 0
         self._win_end_app = 0
@@ -601,7 +623,6 @@ class ExecutionManager:
         em = self._emit_app_activated
         if em is not None:
             em(0, 0)
-        self.skipped_events[0] = 0
         for app in self.apps:
             if app.arrival_time > 0:
                 self.queue.push(app.arrival_time, EventKind.APP_ARRIVAL, app.index)
@@ -632,7 +653,7 @@ class ExecutionManager:
                 if guard > guard_limit:  # pragma: no cover - defensive
                     raise SimulationError("simulation exceeded event budget (livelock?)")
 
-            if all(a.unfinished == 0 for a in self.apps):
+            if self.state.apps_left == 0:
                 break
             # The queue drained with work remaining.  The one legal cause
             # is a skip-event taken while nothing was in flight: "wait for
@@ -684,18 +705,24 @@ class ExecutionManager:
         if self._notify_exec_end is not None:
             self._notify_exec_end(ru_index, config, self.clock)
 
-        app = self.apps[instance.app_index]
-        node_id = config[1]
-        app.done.add(node_id)
-        app.unfinished -= 1
-        remaining = app.remaining_preds
-        for succ in app.capp.successors[node_id]:
-            remaining[succ] -= 1
+        da = instance.app_index
+        unfinished = self._unfinished
+        left = unfinished[da] - 1
+        unfinished[da] = left
+        # ru_flat still holds the finished task's flat slot (set at claim
+        # time, untouched while the RU executed): successor decrements are
+        # pure column arithmetic, no per-instance dict.
+        flat = self._ru_flat[ru_index]
+        base = self.compiled.app_offsets[da]
+        remaining = self._remaining
+        for succ in self._app_capps[da].succ_slots[flat - base]:
+            remaining[base + succ] -= 1
 
-        if app.unfinished == 0:
+        if left == 0:
+            self.state.apps_left -= 1
             em = self._emit_app_completed
             if em is not None:
-                em(self.clock, app.index)
+                em(self.clock, da)
             self._activate_next_app()
         self._try_dispatch()
         self._start_ready_executions()
@@ -723,18 +750,18 @@ class ExecutionManager:
 
     def _activate_next_app(self) -> None:
         """Advance the current-application pointer past completed apps."""
+        unfinished = self._unfinished
         while (
-            self._current_app < len(self.apps)
-            and self.apps[self._current_app].unfinished == 0
+            self._current_app < self._n_apps
+            and unfinished[self._current_app] == 0
         ):
             self._current_app += 1
-        if self._current_app < len(self.apps):
+        if self._current_app < self._n_apps:
             parked = self._parked.pop(self._current_app, None)
             if parked:
                 ready = self._ready
                 for ru_index in parked:
                     bisect.insort(ready, ru_index)
-            self.skipped_events.setdefault(self._current_app, 0)
             if self._notify_activated is not None:
                 self._notify_activated(self._current_app, self.clock)
             em = self._emit_app_activated
@@ -748,19 +775,18 @@ class ExecutionManager:
         self._try_dispatch()
         self._start_ready_executions()
 
-    def _head_instance(self, app: _AppRun, pos: int) -> TaskInstance:
+    def _head_instance(self, da: int, pos: int) -> TaskInstance:
         """The head task instance, cached per dispatch position (skips and
         stalled attempts revisit the same head many times)."""
-        index = app.index
-        if self._head_da == index and self._head_dp == pos:
+        if self._head_da == da and self._head_dp == pos:
             return self._head_obj  # type: ignore[return-value]
-        capp = app.capp
+        capp = self._app_capps[da]
         instance = TaskInstance(
-            app_index=index,
+            app_index=da,
             config=capp.rec_configs[pos],
             exec_time=capp.rec_exec_times[pos],
         )
-        self._head_da = index
+        self._head_da = da
         self._head_dp = pos
         self._head_obj = instance
         return instance
@@ -774,9 +800,12 @@ class ExecutionManager:
         """
         if not self._free_controllers:
             return
-        apps = self.apps
         rus = self.rus
-        n_apps = len(apps)
+        n_apps = self._n_apps
+        ntasks = self._app_ntasks
+        capps = self._app_capps
+        arrivals = self._arrivals
+        offsets = self.compiled.app_offsets
         lookahead = self._lookahead
         uniform = self._uniform_slots
         fast_kb = uniform and self._fixed_latency is not None
@@ -788,20 +817,19 @@ class ExecutionManager:
             # Advance the dispatch pointer past exhausted applications.
             da = self._dispatch_app
             dp = self._dispatch_pos
-            while da < n_apps and dp >= apps[da].capp.n_tasks:
+            while da < n_apps and dp >= ntasks[da]:
                 da += 1
                 dp = 0
             self._dispatch_app = da
             self._dispatch_pos = dp
             if da >= n_apps:
                 return
-            app = apps[da]
             # Visibility: arrived and within the Dynamic-List lookahead.
-            if app.arrival_time > self.clock:
+            if arrivals[da] > self.clock:
                 return
             if da - self._current_app > lookahead:
                 return
-            capp = app.capp
+            capp = capps[da]
 
             # Design-time forced delay (mobility calculation, Fig. 6):
             # consume one load opportunity without dispatching.
@@ -814,9 +842,9 @@ class ExecutionManager:
 
             cid = capp.rec_cids[dp]
             ru_index = loc[cid]
-            if ru_index is not None:
+            if ru_index >= 0:
                 ru = rus[ru_index]
-                instance = self._head_instance(app, dp)
+                instance = self._head_instance(da, dp)
                 if ru.config != instance.config:  # pragma: no cover - defensive
                     raise SimulationError("location map out of sync")
                 if ru.pending is not None or ru.state in (
@@ -830,6 +858,8 @@ class ExecutionManager:
                     # S2: future reuse consumed only on activation.
                     return
                 ru.claim_reuse(instance)
+                self._ru_app[ru_index] = da
+                self._ru_flat[ru_index] = offsets[da] + dp
                 if da == self._current_app:
                     bisect.insort(self._ready, ru_index)
                 else:
@@ -849,7 +879,9 @@ class ExecutionManager:
             kb = 0 if fast_kb else capp.rec_bitstreams[dp]
             free = self._claim_free_ru(kb)
             if free is not None:
-                self._begin_load(free, self._head_instance(app, dp), cid)
+                self._begin_load(
+                    free, self._head_instance(da, dp), cid, offsets[da] + dp
+                )
                 continue
             if is_future and self._cap_free_only:
                 return
@@ -871,7 +903,7 @@ class ExecutionManager:
                     candidates.append(view)
             if not candidates:
                 return
-            instance = self._head_instance(app, dp)
+            instance = self._head_instance(da, dp)
             ctx = self._build_context(instance, candidates, da, dp)
             decision = self.advisor.decide(ctx)
             if decision.skip:
@@ -905,7 +937,7 @@ class ExecutionManager:
             em = self._emit_eviction
             if em is not None:
                 em(self.clock, victim.index, victim.config, instance.config, da)
-            self._begin_load(rus[victim.index], instance, cid)
+            self._begin_load(rus[victim.index], instance, cid, offsets[da] + dp)
             continue
 
     def _skip_victim_config(self, ctx, decision: Decision) -> ConfigId:
@@ -942,16 +974,20 @@ class ExecutionManager:
             f"(candidates: {[v.index for v in candidates]})"
         )
 
-    def _begin_load(self, ru: RU, instance: TaskInstance, cid: int) -> None:
+    def _begin_load(
+        self, ru: RU, instance: TaskInstance, cid: int, flat: int
+    ) -> None:
         if not self._free_controllers:  # pragma: no cover - defensive
             raise SimulationError("every reconfiguration controller is busy")
         ru_index = ru.index
         old_cid = self._ru_cid[ru_index]
-        if old_cid is not None:
-            self._loc[old_cid] = None
+        if old_cid >= 0:
+            self._loc[old_cid] = NO_INDEX
         ru.begin_load(instance, self.clock)
         self._loc[cid] = ru_index
         self._ru_cid[ru_index] = cid
+        self._ru_app[ru_index] = instance.app_index
+        self._ru_flat[ru_index] = flat
         self._busy_cfgs.add(instance.config)
         controller = self._free_controllers.pop(0)
         latency = (
@@ -981,21 +1017,24 @@ class ExecutionManager:
         if not ready:
             return
         cur = self._current_app
-        if cur >= len(self.apps):
+        if cur >= self._n_apps:
             return
-        remaining = self.apps[cur].remaining_preds
+        remaining = self._remaining
+        ru_app = self._ru_app
+        ru_flat = self._ru_flat
         rus = self.rus
         clock = self.clock
         notify = self._notify_exec_start
         i = 0
         while i < len(ready):
             ru_index = ready[i]
-            ru = rus[ru_index]
-            pending = ru.pending
-            if pending.app_index != cur or remaining[pending.config[1]] != 0:
+            # Pure column reads — the RU object (and its pending instance)
+            # is only touched once the task is actually startable.
+            if ru_app[ru_index] != cur or remaining[ru_flat[ru_index]] != 0:
                 i += 1
                 continue
             del ready[i]
+            ru = rus[ru_index]
             reused = ru.pending_reused
             instance = ru.start_execution(clock)
             self._busy_cfgs.add(instance.config)
@@ -1069,7 +1108,7 @@ class ExecutionManager:
         # yet arrived.  All three drivers (dispatch pointer, current app,
         # clock) are monotone, so the boundary only ever moves forward.
         limit = self._current_app + self._lookahead + 1
-        n_apps = len(self.apps)
+        n_apps = self._n_apps
         if limit > n_apps:
             limit = n_apps
         end_app = self._win_end_app
@@ -1112,5 +1151,5 @@ class ExecutionManager:
         else:
             ctx.oracle_refs = None
         ctx.mobility = 0 if mob is None else mob[dp]
-        ctx.skipped_events = self.skipped_events.setdefault(da, 0)
+        ctx.skipped_events = self.skipped_events[da]
         return ctx

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 from repro.exceptions import SimulationError
 from repro.graphs.task import ConfigId, TaskInstance
 from repro.hw.model import RUSlot
+from repro.util.slots import add_slots
 
 
 class RUState(Enum):
@@ -38,6 +39,7 @@ class RUState(Enum):
     EXECUTING = "executing"
 
 
+@add_slots
 @dataclass(frozen=True)
 class RUView:
     """Immutable snapshot of one RU handed to replacement policies.

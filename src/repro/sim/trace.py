@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.task import ConfigId
+from repro.util.slots import add_slots
 
 
 def require_full_trace(trace, helper: str) -> None:
@@ -32,6 +33,7 @@ def require_full_trace(trace, helper: str) -> None:
         )
 
 
+@add_slots
 @dataclass(frozen=True)
 class ReconfigRecord:
     """One reconfiguration (bitstream load) on a reconfiguration controller.
@@ -52,6 +54,7 @@ class ReconfigRecord:
         return self.end - self.start
 
 
+@add_slots
 @dataclass(frozen=True)
 class ReuseRecord:
     """A configuration was reused (claimed without reconfiguration)."""
@@ -62,6 +65,7 @@ class ReuseRecord:
     time: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class EvictionRecord:
     """A victim configuration was replaced on an RU."""
@@ -73,6 +77,7 @@ class EvictionRecord:
     time: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class SkipRecord:
     """The replacement module skipped an event (delayed a reconfiguration).
@@ -87,6 +92,7 @@ class SkipRecord:
     skipped_events_after: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class ExecRecord:
     """One task execution on an RU."""

@@ -50,6 +50,7 @@ from typing import (
 )
 
 from repro.exceptions import SimulationError
+from repro.util.slots import add_slots
 from repro.graphs.task import ConfigId
 from repro.sim.trace import (
     EvictionRecord,
@@ -64,6 +65,7 @@ from repro.sim.trace import (
 # ----------------------------------------------------------------------
 # Event types
 # ----------------------------------------------------------------------
+@add_slots
 @dataclass(frozen=True)
 class TraceEvent:
     """Base of all trace events.  ``time`` is simulation time in µs."""
@@ -71,6 +73,7 @@ class TraceEvent:
     time: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class RunStart(TraceEvent):
     """The simulation is about to execute (always the first event).
@@ -87,11 +90,13 @@ class RunStart(TraceEvent):
     n_controllers: int = 1
 
 
+@add_slots
 @dataclass(frozen=True)
 class RunEnd(TraceEvent):
     """The simulation drained its event queue (always the last event)."""
 
 
+@add_slots
 @dataclass(frozen=True)
 class AppActivated(TraceEvent):
     """``app_index`` became the current application."""
@@ -99,6 +104,7 @@ class AppActivated(TraceEvent):
     app_index: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class AppCompleted(TraceEvent):
     """Every task of ``app_index`` finished executing."""
@@ -106,6 +112,7 @@ class AppCompleted(TraceEvent):
     app_index: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class ReconfigStart(TraceEvent):
     """A bitstream load began on reconfiguration controller ``controller``.
@@ -127,6 +134,7 @@ class ReconfigStart(TraceEvent):
         return self.end - self.time
 
 
+@add_slots
 @dataclass(frozen=True)
 class ReconfigEnd(TraceEvent):
     """Controller ``controller`` finished loading ``config`` into ``ru``.
@@ -141,6 +149,7 @@ class ReconfigEnd(TraceEvent):
     latency: int = 0
 
 
+@add_slots
 @dataclass(frozen=True)
 class Reuse(TraceEvent):
     """``config`` was claimed without a reconfiguration (a task reuse)."""
@@ -150,6 +159,7 @@ class Reuse(TraceEvent):
     app_index: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class Eviction(TraceEvent):
     """``old_config`` was chosen as the victim for loading ``new_config``."""
@@ -160,6 +170,7 @@ class Eviction(TraceEvent):
     app_index: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class Skip(TraceEvent):
     """The replacement module skipped an event (delayed ``config``'s load)."""
@@ -170,6 +181,7 @@ class Skip(TraceEvent):
     skipped_events_after: int
 
 
+@add_slots
 @dataclass(frozen=True)
 class ExecStart(TraceEvent):
     """A task execution began on ``ru``; ``end`` is its scheduled finish.
@@ -189,6 +201,7 @@ class ExecStart(TraceEvent):
     load_us: int = 0
 
 
+@add_slots
 @dataclass(frozen=True)
 class ExecEnd(TraceEvent):
     """The task running on ``ru`` finished."""

@@ -1,10 +1,12 @@
 """Shared utilities: seeded RNG helpers, ASCII tables, timing."""
 
 from repro.util.rng import make_rng, spawn_rngs
+from repro.util.slots import add_slots
 from repro.util.tables import TextTable, format_series
 from repro.util.timing import Stopwatch, measure_best, measure_calls
 
 __all__ = [
+    "add_slots",
     "make_rng",
     "spawn_rngs",
     "TextTable",

@@ -31,7 +31,8 @@ under the workload content key — a warm store skips compilation too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import WorkloadError
@@ -62,9 +63,19 @@ class CompiledApp:
     All ``rec_*`` arrays are parallel to :attr:`rec_order` (the design-time
     "sorted sequence of reconfigurations", paper §IV): position ``p``
     describes the ``p``-th load of the application.  ``pred_counts`` and
-    ``successors`` are keyed by node id; ``pred_counts`` is the template
-    each application *instance* copies for its runtime dependency
-    bookkeeping.
+    ``successors`` are keyed by node id and remain the advisor-facing
+    mappings; the *columnar* templates below re-express them per rec-order
+    slot so the manager's :class:`~repro.sim.columns.EngineState` never
+    touches a dict in the hot loop:
+
+    ``node_slot``
+        node id -> rec-order position (the node's dense slot).
+    ``pred_template``
+        ``array('q')`` of predecessor counts per slot — the template every
+        application *instance* copies for runtime dependency bookkeeping.
+    ``succ_slots``
+        per slot, the tuple of successor *slots* to decrement when the
+        task at that slot completes.
     """
 
     name: str
@@ -77,11 +88,38 @@ class CompiledApp:
     successors: Mapping[int, Tuple[int, ...]]
     max_concurrency: int
     n_tasks: int = 0
+    # Derived columnar templates (recomputed on every construction path,
+    # excluded from equality/serialisation — see to_payload).
+    node_slot: Mapping[int, int] = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+    pred_template: "array" = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+    succ_slots: Tuple[Tuple[int, ...], ...] = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
 
     def __post_init__(self) -> None:
         # Stored (not derived) so hot loops read a plain attribute.
         if self.n_tasks != len(self.rec_order):
             object.__setattr__(self, "n_tasks", len(self.rec_order))
+        if self.node_slot is None:
+            slot = {nid: pos for pos, nid in enumerate(self.rec_order)}
+            object.__setattr__(self, "node_slot", slot)
+            object.__setattr__(
+                self,
+                "pred_template",
+                array("q", (self.pred_counts[nid] for nid in self.rec_order)),
+            )
+            object.__setattr__(
+                self,
+                "succ_slots",
+                tuple(
+                    tuple(slot[s] for s in self.successors[nid])
+                    for nid in self.rec_order
+                ),
+            )
 
 
 @dataclass(frozen=True)
@@ -96,6 +134,15 @@ class CompiledWorkload:
     ``flat_cids`` concatenate every instance's reconfiguration sequence
     (``app_offsets[i]`` is instance ``i``'s first flat position, with a
     final total-length sentinel).
+
+    ``pred_template_flat`` is the per-*instance* concatenation of each
+    graph's ``pred_template`` — length ``n_tasks``, parallel to
+    ``flat_configs``.  One ``list(...)`` of it seeds the whole runtime
+    dependency column of :class:`~repro.sim.columns.EngineState`, so the
+    manager never builds per-instance dicts.  ``app_n_tasks`` is the
+    per-instance task count (parallel to ``app_graph``).  Both are derived
+    in ``__post_init__`` on every construction path and excluded from
+    equality and serialisation.
     """
 
     graphs: Tuple[CompiledApp, ...]
@@ -108,6 +155,24 @@ class CompiledWorkload:
     app_offsets: Tuple[int, ...]
     max_concurrency: int
     n_tasks: int
+    pred_template_flat: "array" = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+    app_n_tasks: Tuple[int, ...] = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if self.pred_template_flat is None:
+            flat = array("q")
+            for gi in self.app_graph:
+                flat.extend(self.graphs[gi].pred_template)
+            object.__setattr__(self, "pred_template_flat", flat)
+            object.__setattr__(
+                self,
+                "app_n_tasks",
+                tuple(self.graphs[gi].n_tasks for gi in self.app_graph),
+            )
 
     @property
     def n_apps(self) -> int:

@@ -479,6 +479,9 @@ class TestPoolRegression:
             with pytest.raises(RuntimeError, match="boom-policy"):
                 session.sweep([_boom_spec()], ru_counts=(4, 6), parallel=2)
             assert session._pool is None  # broken pool was discarded
+            # Forget memoized records so the next sweep actually needs a
+            # pool (a warm session would serve the repeat from memory).
+            session.forget_records()
             sweep = session.sweep(SPECS, ru_counts=(4,), parallel=2)
             assert session._pool is not None  # rebuilt on demand
             assert len(sweep.records) == len(SPECS)

@@ -143,9 +143,7 @@ class AssertingAdvisor(PolicyAdvisor):
 
         table = mgr.mobility_tables.get(ctx.incoming.graph_name, {})
         assert ctx.mobility == int(table.get(ctx.incoming.node_id, 0))
-        assert ctx.skipped_events == mgr.skipped_events.get(
-            ctx.incoming.app_index, 0
-        )
+        assert ctx.skipped_events == mgr.skipped_events[ctx.incoming.app_index]
         assert ctx.now == mgr.clock
 
         type(self).decisions += 1

@@ -185,7 +185,10 @@ class TestSweep:
 class TestArtifactCache:
     def test_mobility_computed_once_per_workload_and_rus(self, workload):
         """Acceptance: cache hits are observable, one miss per (wl, n_rus)."""
-        session = Session(workload=workload)
+        # record_reuse off: the point here is that *re-executed* sweeps
+        # ask the mobility cache once per plan node (a warm session would
+        # otherwise serve the whole second sweep from the record memo).
+        session = Session(workload=workload, record_reuse=False)
         specs = [
             local_lfd_spec(1, skip_events=True),
             local_lfd_spec(2, skip_events=True),
