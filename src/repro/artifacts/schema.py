@@ -235,13 +235,77 @@ def decode_lease(key: str, entry: Any) -> Dict:
     if not isinstance(payload, dict):
         raise ArtifactDecodeError("lease payload is not an object")
     try:
+        acquired = float(payload["acquired"])
+        ttl_s = float(payload["ttl_s"])
         return {
             "worker": str(payload["worker"]),
-            "acquired": float(payload["acquired"]),
-            "ttl_s": float(payload["ttl_s"]),
+            "acquired": acquired,
+            "ttl_s": ttl_s,
+            # Absolute expiry, recorded at claim/renew time.  Leases from
+            # before the defensive-expiry change carry no ``expires``;
+            # deriving it here keeps them reclaimable.
+            "expires": float(payload.get("expires", acquired + ttl_s)),
         }
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactDecodeError(f"malformed lease payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Engine checkpoints (see repro.resilience.checkpoint for the format)
+# ----------------------------------------------------------------------
+def encode_checkpoint(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one engine checkpoint (kind ``"checkpoint"``)."""
+    return _envelope("checkpoint", key, dict(payload), meta)
+
+
+def decode_checkpoint(key: str, entry: Any) -> Dict:
+    """Structural validation only; the pickled engine snapshot inside
+    ``engine_b64`` is opened (and further validated) by
+    :func:`repro.resilience.checkpoint.restore_checkpoint`."""
+    payload = _open_envelope("checkpoint", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("checkpoint payload is not an object")
+    try:
+        out = {
+            "version": int(payload["version"]),
+            "fingerprint": payload["fingerprint"],
+            "clock": int(payload["clock"]),
+            "events_done": int(payload["events_done"]),
+            "apps_left": int(payload["apps_left"]),
+            "engine_b64": payload["engine_b64"],
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed checkpoint payload: {exc}") from exc
+    if not isinstance(out["fingerprint"], dict):
+        raise ArtifactDecodeError("checkpoint fingerprint is not an object")
+    if not isinstance(out["engine_b64"], str):
+        raise ArtifactDecodeError("checkpoint engine state is not a string")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker heartbeats: liveness beacons published through the store
+# ----------------------------------------------------------------------
+def encode_heartbeat(key: str, payload: Mapping, meta: Optional[Mapping] = None) -> Dict:
+    """Envelope for one worker heartbeat (kind ``"heartbeat"``)."""
+    return _envelope("heartbeat", key, dict(payload), meta)
+
+
+def decode_heartbeat(key: str, entry: Any) -> Dict:
+    payload = _open_envelope("heartbeat", key, entry)
+    if not isinstance(payload, dict):
+        raise ArtifactDecodeError("heartbeat payload is not an object")
+    try:
+        return {
+            "worker": str(payload["worker"]),
+            "time": float(payload["time"]),
+            "sweep": payload.get("sweep"),
+            "completed": int(payload.get("completed", 0)),
+            "failed": int(payload.get("failed", 0)),
+            "state": str(payload.get("state", "running")),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactDecodeError(f"malformed heartbeat payload: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -36,7 +36,20 @@ from repro.exceptions import ReproError
 #: work-stealing sweep queue (see :mod:`repro.backends.queue`); unlike
 #: the content-addressed design-time kinds they are transient — the
 #: coordinating backend removes them when a sweep completes.
-KINDS = ("mobility", "ideal", "compiled", "sweep", "task", "lease", "result")
+#: ``checkpoint`` holds engine snapshots (removed on run completion,
+#: see :mod:`repro.resilience.checkpoint`) and ``heartbeat`` the worker
+#: liveness beacons (see :mod:`repro.backends.worker`).
+KINDS = (
+    "mobility",
+    "ideal",
+    "compiled",
+    "sweep",
+    "task",
+    "lease",
+    "result",
+    "checkpoint",
+    "heartbeat",
+)
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -86,6 +99,13 @@ class ArtifactStore:
     root:
         Directory the store lives under (created on first write).  The
         versioned layout directory (``v1``) is appended automatically.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan`.  The store
+        exposes one fault point, ``store.write.torn``: when it fires,
+        :meth:`put` persists a truncated entry instead of the real bytes
+        — exactly the half-written file a crash between ``write`` and
+        ``fsync`` would leave — which every reader then treats as a
+        corrupt-evict miss.
 
     The store deals in *envelopes* (see :mod:`repro.artifacts.schema`):
     ``get`` returns the decoded JSON entry or ``None`` on miss, ``put``
@@ -94,10 +114,13 @@ class ArtifactStore:
     canonical caller.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self, root: Union[str, Path, None] = None, *, faults=None
+    ) -> None:
         self.root = Path(root) if root is not None else default_store_root()
         self.layout_dir = self.root / f"v{SCHEMA_VERSION}"
         self.stats = StoreStats()
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def _entry_path(self, kind: str, key: str) -> Path:
@@ -151,6 +174,9 @@ class ArtifactStore:
     def put(self, kind: str, key: str, entry: Any) -> Path:
         """Atomically persist ``entry`` (a JSON-serialisable envelope)."""
         path = self._entry_path(kind, key)
+        data = json.dumps(entry, sort_keys=True) + "\n"
+        if self.faults is not None and self.faults.should_fire("store.write.torn"):
+            data = data[: max(1, len(data) // 2)]
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -158,8 +184,7 @@ class ArtifactStore:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                    handle.write("\n")
+                    handle.write(data)
                 os.replace(tmp_name, path)
             except BaseException:
                 try:

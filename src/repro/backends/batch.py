@@ -111,15 +111,22 @@ class CellBatchRunner:
         artifacts: Sequence[Tuple[Optional[MobilityTables], int]],
         trace: TraceMode = "full",
         on_record: Optional[Callable[[int, PolicyRunRecord], None]] = None,
+        on_cell_start: Optional[Callable[[int], None]] = None,
     ) -> List[PolicyRunRecord]:
         """Execute ``cells[i]`` with ``artifacts[i]`` back-to-back.
 
         ``on_record(i, record)`` fires after each cell (chunk-local
         index) — queue-based callers publish results as they land rather
-        than after the whole chunk.
+        than after the whole chunk.  ``on_cell_start(i)`` fires *before*
+        each cell — the work-stealing worker renews its outstanding
+        leases there (:class:`repro.resilience.leases.LeaseKeeper`), so a
+        chunk whose total runtime exceeds the lease TTL is no longer
+        falsely reclaimed mid-batch.
         """
         records: List[PolicyRunRecord] = []
         for i, (cell, (mobility, ideal)) in enumerate(zip(cells, artifacts)):
+            if on_cell_start is not None:
+                on_cell_start(i)
             record = self.run_one(cell, mobility, ideal, trace=trace)
             if on_record is not None:
                 on_record(i, record)

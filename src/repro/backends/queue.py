@@ -14,10 +14,20 @@ safe.  A sweep becomes four entry kinds:
     tables and ideal makespan the cell runs with.
 ``lease``
     The claim marker.  Created with ``O_CREAT | O_EXCL`` (exactly one
-    winner per cell), carrying ``(worker, acquired, ttl_s)``.  A lease
-    whose TTL expired without a result is *stale* — its worker crashed —
-    and any process may reclaim it (evict + re-claim), so a sweep always
-    completes.
+    winner per cell), carrying ``(worker, acquired, ttl_s, expires)``.
+    A lease past its expiry without a result is *stale* — its worker
+    crashed — and any process may reclaim it (evict + re-claim), so a
+    sweep always completes.
+
+Lease liveness across hosts uses the defensively-recorded absolute
+``expires`` stamp, *not* ``acquired + ttl_s`` recomputed by the reader:
+the writer's and reader's wall clocks can disagree (NTP slew, container
+drift), so readers additionally grant :data:`SKEW_MARGIN_S` of grace
+before declaring a lease stale.  Renewal never moves ``expires``
+backwards — a wall-clock step on the renewing host must not shorten a
+lease another host is judging (see ``CellQueue.renew``).  Renewal
+*cadence* on the holder's side runs on the monotonic clock
+(:class:`repro.resilience.leases.LeaseKeeper`), immune to wall steps.
 ``result``
     One entry per finished cell: the flat record dict (or an error).
     Results are idempotent: should the reclaim race ever run a cell
@@ -48,10 +58,16 @@ from repro.artifacts.schema import (
     encode_sweep_meta,
     encode_task,
 )
-from repro.artifacts.store import ArtifactStore
+from repro.artifacts.store import ArtifactStore, ArtifactStoreError
 from repro.exceptions import ExperimentError
 from repro.graphs.serialization import graph_from_dict, graph_to_dict
 from repro.workloads.sequence import Workload
+
+#: Grace a reader grants past a lease's recorded ``expires`` before
+#: declaring it stale.  Covers realistic wall-clock disagreement between
+#: hosts sharing the store directory (NTP slew is typically < 0.5 s;
+#: anything worse is an operational problem no margin should paper over).
+SKEW_MARGIN_S = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -107,12 +123,41 @@ class CellQueue:
     All methods are crash-tolerant: every mutation is a single atomic
     file operation, so a worker dying at any point leaves the queue in a
     state some other worker can make progress from.
+
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) wraps the
+    store writes that must not be lost to a transient I/O hiccup (an NFS
+    timeout, a torn-write fault): ``publish``, ``renew``, ``complete``
+    and ``fail`` retry on :class:`ArtifactStoreError`/``OSError`` before
+    surfacing the failure.  ``faults`` (a
+    :class:`~repro.resilience.faults.FaultPlan`) exposes the
+    ``queue.claim.lost`` point: a freshly-won claim's lease file vanishes
+    — the crashed-after-claim scenario — which another worker must then
+    reclaim after expiry.
     """
 
-    def __init__(self, store: ArtifactStore, sweep_id: str, n_cells: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        store: ArtifactStore,
+        sweep_id: str,
+        n_cells: Optional[int] = None,
+        *,
+        retry=None,
+        faults=None,
+    ) -> None:
         self.store = store
         self.sweep_id = sweep_id
         self._n_cells = n_cells
+        self.retry = retry
+        self.faults = faults
+
+    def _durable(self, fn, *args):
+        """Run a must-not-be-lost store write under the retry policy."""
+        if self.retry is None:
+            return fn(*args)
+        return self.retry.run(
+            lambda: fn(*args),
+            retryable=(ArtifactStoreError, OSError),
+        )
 
     # -- keys -----------------------------------------------------------
     def cell_key(self, index: int) -> str:
@@ -146,13 +191,15 @@ class CellQueue:
         """
         self._n_cells = len(tasks)
         for payload in tasks:
-            self.store.put(
+            self._durable(
+                self.store.put,
                 "task",
                 self.cell_key(payload["index"]),
                 encode_task(self.cell_key(payload["index"]), payload),
             )
         # Manifest last: a worker that sees it can rely on the tasks.
-        self.store.put(
+        self._durable(
+            self.store.put,
             "sweep",
             self.sweep_id,
             encode_sweep_meta(
@@ -229,17 +276,29 @@ class CellQueue:
                 continue
             lease = self.store.load("lease", key, decode_lease)
             if lease is not None:
-                if now <= lease["acquired"] + lease["ttl_s"]:
-                    continue  # live worker owns it
+                if now <= lease["expires"] + SKEW_MARGIN_S:
+                    continue  # live worker owns it (or clocks disagree)
                 self.store.remove("lease", key)  # stale: crashed worker
             if not self.store.put_exclusive(
                 "lease",
                 key,
                 encode_lease(
-                    key, {"worker": worker_id, "acquired": now, "ttl_s": ttl_s}
+                    key,
+                    {
+                        "worker": worker_id,
+                        "acquired": now,
+                        "ttl_s": ttl_s,
+                        "expires": now + ttl_s,
+                    },
                 ),
             ):
                 continue  # another worker won the claim race
+            if self.faults is not None and self.faults.should_fire(
+                "queue.claim.lost"
+            ):
+                # The claim marker vanishes right after the win — as if
+                # the claimant crashed between claim and first renewal.
+                self.store.remove("lease", key)
             task = self.store.load("task", key, decode_task)
             if task is None:
                 # Task entry corrupt (evicted above) or missing: release
@@ -252,19 +311,40 @@ class CellQueue:
         return claimed
 
     def renew(self, index: int, worker_id: str, ttl_s: float) -> None:
-        """Refresh a held lease (long cells heartbeat between events)."""
+        """Refresh a held lease (long batches heartbeat between cells).
+
+        The new expiry is ``max(previous expires, now + ttl_s)`` — a
+        renewal can only *extend* a lease.  If the renewing host's wall
+        clock stepped backwards (NTP correction) a naive rewrite would
+        shorten the lease and let another host reclaim a cell that is
+        actively executing; the regression test steps the clock back and
+        asserts the expiry held.
+        """
         key = self.cell_key(index)
-        self.store.put(
+        now = time.time()
+        old = self.store.load("lease", key, decode_lease)
+        expires = now + ttl_s
+        if old is not None and old.get("worker") == worker_id:
+            expires = max(float(old["expires"]), expires)
+        self._durable(
+            self.store.put,
             "lease",
             key,
             encode_lease(
-                key, {"worker": worker_id, "acquired": time.time(), "ttl_s": ttl_s}
+                key,
+                {
+                    "worker": worker_id,
+                    "acquired": now,
+                    "ttl_s": ttl_s,
+                    "expires": expires,
+                },
             ),
         )
 
     def complete(self, index: int, record: Dict, worker_id: str) -> None:
         key = self.cell_key(index)
-        self.store.put(
+        self._durable(
+            self.store.put,
             "result",
             key,
             encode_cell_result(key, {"index": index, "record": record, "worker": worker_id}),
@@ -273,7 +353,8 @@ class CellQueue:
 
     def fail(self, index: int, error: str, worker_id: str) -> None:
         key = self.cell_key(index)
-        self.store.put(
+        self._durable(
+            self.store.put,
             "result",
             key,
             encode_cell_result(key, {"index": index, "error": error, "worker": worker_id}),
@@ -310,7 +391,7 @@ class CellQueue:
             if self.store.exists("result", key):
                 continue
             lease = self.store.load("lease", key, decode_lease)
-            if lease is not None and now > lease["acquired"] + lease["ttl_s"]:
+            if lease is not None and now > lease["expires"] + SKEW_MARGIN_S:
                 self.store.remove("lease", key)
                 reclaimed.append(i)
         return reclaimed

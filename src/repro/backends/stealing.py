@@ -81,6 +81,15 @@ class WorkStealingBackend(ExecutorBackend):
         queue is published and before local workers spawn — the hook
         fault-injection tests use to corrupt entries or pre-claim
         leases.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` shipped to
+        every local worker (cell-level fault points) and wired into the
+        coordinator-side queue (``queue.claim.lost``); the deterministic
+        chaos-suite surface.
+    retry:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` applied to
+        the queue's must-not-be-lost store writes on both the
+        coordinator (publish) and worker (renew/complete/fail) sides.
     """
 
     name = "work-stealing"
@@ -95,6 +104,8 @@ class WorkStealingBackend(ExecutorBackend):
         timeout_s: Optional[float] = None,
         max_respawns: Optional[int] = None,
         on_published: Optional[Callable[[CellQueue], None]] = None,
+        faults=None,
+        retry=None,
     ) -> None:
         if workers < 0:
             raise ExperimentError(f"workers must be >= 0, got {workers}")
@@ -109,6 +120,8 @@ class WorkStealingBackend(ExecutorBackend):
             max_respawns if max_respawns is not None else max(3, 3 * workers)
         )
         self.on_published = on_published
+        self.faults = faults
+        self.retry = retry
         self._procs: List[multiprocessing.Process] = []
 
     # ------------------------------------------------------------------
@@ -131,6 +144,10 @@ class WorkStealingBackend(ExecutorBackend):
                 "lease_ttl": self.lease_ttl,
                 "poll_s": self.poll_s,
                 "seed": serial,
+                # FaultPlan is picklable (per-point state travels with it)
+                # so spawned workers inherit the same deterministic plan.
+                "faults": self.faults,
+                "retry": self.retry,
             },
             daemon=True,
             name=f"repro-steal-{serial}",
@@ -163,7 +180,9 @@ class WorkStealingBackend(ExecutorBackend):
             for i, (cell, (mobility, ideal)) in enumerate(zip(cells, batch.artifacts))
         ]
         sweep_id = sweep_queue_id(batch.content_key, n)
-        queue = CellQueue(self.store, sweep_id, n_cells=n)
+        queue = CellQueue(
+            self.store, sweep_id, n_cells=n, retry=self.retry, faults=self.faults
+        )
         queue.publish(
             batch.workload,
             tasks,

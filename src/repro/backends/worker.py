@@ -21,7 +21,11 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.artifacts.keys import compiled_key, workload_content_key
-from repro.artifacts.schema import decode_compiled
+from repro.artifacts.schema import (
+    decode_compiled,
+    decode_heartbeat,
+    encode_heartbeat,
+)
 from repro.artifacts.store import ArtifactStore
 from repro.backends.base import SweepCell
 from repro.backends.batch import CellBatchRunner
@@ -31,11 +35,55 @@ from repro.backends.queue import (
     unpack_obj,
     workload_from_payload,
 )
+from repro.resilience.leases import LeaseKeeper
 from repro.workloads.compiled import CompiledWorkload
+
+#: Heartbeat cadence ceiling; the effective cadence is
+#: ``min(lease_ttl / 3, HEARTBEAT_EVERY_S)`` so short-TTL test setups
+#: beacon proportionally faster.
+HEARTBEAT_EVERY_S = 5.0
 
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def publish_heartbeat(
+    store: ArtifactStore,
+    worker_id: str,
+    *,
+    sweep: Optional[str] = None,
+    completed: int = 0,
+    failed: int = 0,
+    state: str = "running",
+) -> None:
+    """Publish (overwrite) one worker's liveness beacon in the store."""
+    key = f"hb-{worker_id}"
+    store.put(
+        "heartbeat",
+        key,
+        encode_heartbeat(
+            key,
+            {
+                "worker": worker_id,
+                "time": time.time(),
+                "sweep": sweep,
+                "completed": int(completed),
+                "failed": int(failed),
+                "state": state,
+            },
+        ),
+    )
+
+
+def read_heartbeats(store: ArtifactStore) -> Dict[str, Dict]:
+    """All published worker beacons, keyed by worker id (corrupt = absent)."""
+    out: Dict[str, Dict] = {}
+    for key in store.keys_of_kind("heartbeat"):
+        payload = store.load("heartbeat", key, decode_heartbeat)
+        if payload is not None:
+            out[payload["worker"]] = payload
+    return out
 
 
 class _SweepContext:
@@ -60,8 +108,18 @@ class _SweepContext:
         #: Shared warm context every cell of this sweep executes on.
         self.runner = CellBatchRunner(self.apps, self.compiled)
 
-    def execute(self, task: Dict, worker_id: str) -> None:
+    def execute(self, task: Dict, worker_id: str, faults=None) -> None:
         index = task["index"]
+        if faults is not None:
+            # Deterministic chaos, in dependency order: a slow cell first
+            # (models a long simulation holding its lease), then the
+            # hard-death point the chaos suite drives with a real SIGKILL.
+            if faults.should_fire("worker.cell.slow"):
+                time.sleep(0.2)
+            if faults.should_fire("worker.cell.sigkill"):
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
         try:
             spec = unpack_obj(task["spec_b64"])
             device = (
@@ -105,6 +163,9 @@ def run_worker(
     once: bool = False,
     seed: Optional[int] = None,
     batch_size: Optional[int] = None,
+    faults=None,
+    retry=None,
+    heartbeats: bool = True,
 ) -> Dict[str, int]:
     """Pull and execute sweep cells until there is nothing left to do.
 
@@ -132,8 +193,27 @@ def run_worker(
         ``None`` defers to each sweep manifest's published ``batch_size``
         (default 1), so a ``--batch-size`` on the coordinating sweep
         reaches external daemons too.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` — exposes
+        ``worker.cell.slow`` and ``worker.cell.sigkill`` here and is
+        threaded into the queue (``queue.claim.lost``) and store
+        (``store.write.torn``) — the chaos suite's injection surface.
+    retry:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` applied to
+        the queue's must-not-be-lost store writes (lease renewals,
+        result publication).
+    heartbeats:
+        Publish a liveness beacon (``heartbeat`` artifact) every
+        ``min(lease_ttl / 3, HEARTBEAT_EVERY_S)`` seconds; read back with
+        :func:`read_heartbeats` (surfaced by the daemon's ``/health``).
 
     Returns counters: ``{"completed": N, "failed": N, "sweeps": N}``.
+
+    Long batches never outlive their leases: a
+    :class:`~repro.resilience.leases.LeaseKeeper` renews the chunk's
+    outstanding leases between cells on a monotonic cadence, so
+    ``batch_size × cell_time > lease_ttl`` no longer causes false
+    reclaims and duplicate execution.
     """
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
@@ -142,11 +222,35 @@ def run_worker(
     contexts: Dict[str, _SweepContext] = {}
     stats = {"completed": 0, "failed": 0, "sweeps": 0}
     idle_since: Optional[float] = None
+    hb_every = min(lease_ttl / 3.0, HEARTBEAT_EVERY_S)
+    hb_next = 0.0  # monotonic deadline; 0 publishes immediately
+    current_sweep: Optional[str] = None
+
+    def _beat(state: str, force: bool = False) -> None:
+        nonlocal hb_next
+        if not heartbeats:
+            return
+        now = time.monotonic()
+        if not force and now < hb_next:
+            return
+        hb_next = now + hb_every
+        try:
+            publish_heartbeat(
+                store,
+                worker_id,
+                sweep=current_sweep,
+                completed=stats["completed"],
+                failed=stats["failed"],
+                state=state,
+            )
+        except Exception:
+            # A beacon is advisory; losing one must never kill the worker.
+            pass
 
     def _context(sid: str) -> Optional[_SweepContext]:
         ctx = contexts.get(sid)
         if ctx is None:
-            queue = CellQueue(store, sid)
+            queue = CellQueue(store, sid, retry=retry, faults=faults)
             meta = queue.meta()
             if meta is None:
                 return None  # manifest gone (sweep cleaned up) or corrupt
@@ -161,19 +265,26 @@ def run_worker(
             ctx = _context(sid)
             if ctx is None:
                 continue
+            current_sweep = sid
             chunk = max(1, batch_size if batch_size is not None else ctx.batch_size)
+            keeper = LeaseKeeper(ctx.queue, worker_id, lease_ttl)
             while True:
                 tasks = ctx.queue.claim_many(worker_id, lease_ttl, chunk, rng)
                 if not tasks:
                     break
+                keeper.track([task["index"] for task in tasks])
                 for task in tasks:
-                    ctx.execute(task, worker_id)
+                    keeper.tick()
+                    _beat("running")
+                    ctx.execute(task, worker_id, faults=faults)
+                    keeper.done(task["index"])
                     result = ctx.queue.result(task["index"])
                     if result is not None and result.get("error"):
                         stats["failed"] += 1
                     else:
                         stats["completed"] += 1
                 progressed = True
+        current_sweep = None
         if sweep_id is not None:
             ctx = contexts.get(sweep_id)
             if ctx is not None and (ctx.queue.finished() or ctx.queue.meta() is None):
@@ -187,5 +298,7 @@ def run_worker(
         idle_since = idle_since if idle_since is not None else now
         if max_idle_s is not None and now - idle_since >= max_idle_s:
             break
+        _beat("idle")
         time.sleep(poll_s)
+    _beat("stopped", force=True)
     return stats

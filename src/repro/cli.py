@@ -452,6 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drain currently-available work and exit ('worker' command)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "write a resumable engine snapshot to the store every N "
+            "events ('run' command; requires --store; re-running the "
+            "same command after a crash resumes from the snapshot)"
+        ),
+    )
     return parser
 
 
@@ -545,10 +556,20 @@ def _run_single(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = session.run(spec, n_rus=n_rus, device=device_override)
+        result = session.run(
+            spec,
+            n_rus=n_rus,
+            device=device_override,
+            checkpoint_every=args.checkpoint or 0,
+        )
         profiler.disable()
     else:
-        result = session.run(spec, n_rus=n_rus, device=device_override)
+        result = session.run(
+            spec,
+            n_rus=n_rus,
+            device=device_override,
+            checkpoint_every=args.checkpoint or 0,
+        )
     if n_rus is not None:
         model = model.with_n_rus(n_rus)
     print(f"{label} on {session.workload.name!r} ({model.describe()}):", file=out)
@@ -911,6 +932,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         ("--ttl", args.ttl, ("worker",)),
         ("--max-idle", args.max_idle, ("worker",)),
         ("--once", args.once or None, ("worker",)),
+        ("--checkpoint", args.checkpoint, ("run",)),
     ):
         if value is not None and command not in allowed:
             names = "/".join(f"'{name}'" for name in allowed)

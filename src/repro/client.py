@@ -23,14 +23,24 @@ import asyncio
 import json
 import http.client
 import socket
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.resilience.retry import RetryPolicy
 from repro.sim.tracing import TraceEvent, event_from_dict
 
 #: Terminal job states mirrored from the server (kept dependency-light so
 #: the client module imports without the server package).
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "dead"})
+
+#: Default request retry policy: transport errors and 503 load-shedding
+#: responses are retried with exponential backoff + deterministic jitter;
+#: 4xx responses (including 429 quota rejections, which carry their own
+#: application-level ``retry_after``) are returned to the caller
+#: untouched.  Pass ``retry=`` to either client to tune or disable
+#: (``RetryPolicy(max_attempts=1)`` restores fail-fast).
+DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.1, max_delay_s=2.0)
 
 
 class ReproClientError(ReproError):
@@ -67,6 +77,20 @@ def _raise_for_status(status: int, payload: object) -> Dict[str, object]:
     return payload  # type: ignore[return-value]
 
 
+def _retry_after_of(header: Optional[str], payload: object) -> Optional[float]:
+    """Server-suggested backoff from a 503: header first, payload fallback."""
+    if header:
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            pass
+    if isinstance(payload, dict):
+        value = payload.get("retry_after")
+        if isinstance(value, (int, float)):
+            return max(0.0, float(value))
+    return None
+
+
 # ----------------------------------------------------------------------
 # Synchronous client
 # ----------------------------------------------------------------------
@@ -78,6 +102,14 @@ class ReproClient:
     connection when the job's event feed ends).  ``client_id`` is the
     quota identity sent as ``X-Repro-Client``; it defaults to the
     daemon's view of your peer address.
+
+    ``retry`` governs transient-failure handling (see
+    :data:`DEFAULT_RETRY`): transport errors reconnect and retry with
+    backoff, 503 responses honour the server's ``Retry-After`` (header
+    or payload) with jitter on top so a shed herd does not re-stampede in
+    lockstep.  ``faults`` is the chaos-test seam — the
+    ``client.conn.drop`` point kills the connection just before a request
+    goes out.
     """
 
     def __init__(
@@ -87,11 +119,15 @@ class ReproClient:
         *,
         client_id: Optional[str] = None,
         timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        faults=None,
     ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.faults = faults
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing -------------------------------------------------------
@@ -112,14 +148,19 @@ class ReproClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):  # retry once over a fresh connection
-            if self._conn is None:
-                self._conn = self._new_connection()
+        schedule = self.retry.schedule()
+        while True:
             try:
+                if self.faults is not None and self.faults.should_fire(
+                    "client.conn.drop"
+                ):
+                    self.close()
+                    raise ConnectionResetError("injected: connection dropped")
+                if self._conn is None:
+                    self._conn = self._new_connection()
                 self._conn.request(method, path, body=body, headers=headers)
                 response = self._conn.getresponse()
                 data = response.read()
-                break
             except (
                 http.client.HTTPException,
                 ConnectionError,
@@ -127,17 +168,29 @@ class ReproClient:
                 OSError,
             ) as exc:
                 self.close()
-                if attempt == 2:
+                pause = schedule.next_pause()
+                if pause is None:
                     raise ReproClientError(
                         f"{method} http://{self.host}:{self.port}{path} failed: {exc}"
                     ) from None
-        try:
-            decoded = json.loads(data.decode("utf-8")) if data else {}
-        except json.JSONDecodeError as exc:
-            raise ReproClientError(f"daemon sent invalid JSON: {exc}") from None
-        if response.will_close:
-            self.close()
-        return response.status, decoded
+                time.sleep(pause)
+                continue
+            try:
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+            except json.JSONDecodeError as exc:
+                raise ReproClientError(f"daemon sent invalid JSON: {exc}") from None
+            if response.will_close:
+                self.close()
+            if response.status == 503:
+                # Load shedding: honour the server's Retry-After (header
+                # first, payload fallback) with jitter; give the caller
+                # the 503 only when the policy is exhausted.
+                retry_after = _retry_after_of(response.getheader("Retry-After"), decoded)
+                pause = schedule.next_pause(retry_after=retry_after)
+                if pause is not None:
+                    time.sleep(pause)
+                    continue
+            return response.status, decoded
 
     def close(self) -> None:
         if self._conn is not None:
@@ -266,10 +319,12 @@ class AsyncReproClient:
         port: int = 8765,
         *,
         client_id: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -300,10 +355,11 @@ class AsyncReproClient:
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-        for attempt in (1, 2):
-            if self._writer is None:
-                await self.connect()
+        schedule = self.retry.schedule()
+        while True:
             try:
+                if self._writer is None:
+                    await self.connect()
                 head = [
                     f"{method} {path} HTTP/1.1",
                     f"Host: {self.host}:{self.port}",
@@ -318,14 +374,28 @@ class AsyncReproClient:
                     ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
                 )
                 await self._writer.drain()
-                return await self._read_response()
+                status, decoded = await self._read_response()
             except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
                 await self.close()
-                if attempt == 2:
+                pause = schedule.next_pause()
+                if pause is None:
                     raise ReproClientError(
                         f"{method} http://{self.host}:{self.port}{path} "
                         f"failed: {exc}"
                     ) from None
+                await asyncio.sleep(pause)
+                continue
+            if status == 503:
+                retry_after = None
+                if isinstance(decoded, dict):
+                    value = decoded.get("retry_after")
+                    if isinstance(value, (int, float)):
+                        retry_after = max(0.0, float(value))
+                pause = schedule.next_pause(retry_after=retry_after)
+                if pause is not None:
+                    await asyncio.sleep(pause)
+                    continue
+            return status, decoded
 
     async def _read_response(self) -> Tuple[int, object]:
         status_line = await self._reader.readuntil(b"\n")

@@ -1,0 +1,112 @@
+"""Monotonic-clock lease renewal for long worker batches.
+
+A work-stealing worker leases ``batch_size`` cells in one claim, then
+executes them back-to-back.  Before this module, nothing renewed those
+leases while the batch ran: as soon as ``batch_size × cell_time``
+exceeded ``lease_ttl``, the coordinator's ``reclaim_stale`` declared the
+*live* worker dead, reclaimed its unfinished cells, and a second worker
+executed them again — duplicate work at best, interleaved store writes
+at worst.
+
+:class:`LeaseKeeper` fixes that: the worker registers its claimed cell
+indices, calls :meth:`tick` between cells (wired through
+:meth:`~repro.backends.batch.CellBatchRunner.run_chunk`'s
+``on_cell_start`` hook and ``repro worker``'s execute loop), and the
+keeper re-puts every still-unfinished lease whenever a third of the TTL
+has elapsed on the **monotonic** clock — renewal cadence must not jump
+with wall-clock steps (NTP slew, VM suspend), only the on-disk expiry
+uses wall time (see :mod:`repro.backends.queue` for the skew margin).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional
+
+
+class LeaseKeeper:
+    """Renews a worker's outstanding cell leases between cells.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`~repro.backends.queue.CellQueue` holding the leases.
+    worker_id:
+        The renewing worker — renewal is refused for foreign leases.
+    ttl_s:
+        Lease TTL granted on each renewal.
+    renew_every_s:
+        Renewal cadence; defaults to ``ttl_s / 3`` so even two
+        consecutive missed renewals leave the lease alive.
+    monotonic:
+        Clock used for the cadence (injectable for tests).
+    """
+
+    __slots__ = (
+        "queue",
+        "worker_id",
+        "ttl_s",
+        "renew_every_s",
+        "_indices",
+        "_monotonic",
+        "_next",
+        "renewals",
+    )
+
+    def __init__(
+        self,
+        queue,
+        worker_id: str,
+        ttl_s: float,
+        renew_every_s: Optional[float] = None,
+        monotonic: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.queue = queue
+        self.worker_id = worker_id
+        self.ttl_s = float(ttl_s)
+        self.renew_every_s = (
+            float(renew_every_s) if renew_every_s is not None else self.ttl_s / 3.0
+        )
+        self._indices: List[int] = []
+        self._monotonic = monotonic
+        self._next = monotonic() + self.renew_every_s
+        #: Total leases re-put so far (observability / tests).
+        self.renewals = 0
+
+    def track(self, indices: Iterable[int]) -> None:
+        """Register the cell indices of a freshly-claimed batch."""
+        self._indices = list(indices)
+        self._next = self._monotonic() + self.renew_every_s
+
+    def done(self, index: int) -> None:
+        """Stop renewing a completed (or failed) cell's lease."""
+        try:
+            self._indices.remove(index)
+        except ValueError:
+            pass
+
+    def tick(self, force: bool = False) -> int:
+        """Renew outstanding leases if the cadence elapsed; returns count.
+
+        Safe to call as often as the caller likes — between every pair
+        of cells — because the monotonic cadence gate makes the
+        steady-state cost one clock read.
+        """
+        if not self._indices:
+            return 0
+        now = self._monotonic()
+        if not force and now < self._next:
+            return 0
+        self._next = now + self.renew_every_s
+        renewed = 0
+        for index in list(self._indices):
+            self.queue.renew(index, self.worker_id, self.ttl_s)
+            renewed += 1
+        self.renewals += renewed
+        return renewed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeaseKeeper(worker={self.worker_id!r}, ttl_s={self.ttl_s}, "
+            f"tracking={len(self._indices)})"
+        )

@@ -1,0 +1,155 @@
+"""The unified retry/backoff/deadline policy.
+
+Every transient-failure loop in the library — the HTTP client's
+reconnects, the work-stealing queue's store I/O, ``repro worker``'s
+claim loop, the daemon's job re-queues — used to hand-roll its own
+retry shape (the client literally retried exactly once, immediately).
+:class:`RetryPolicy` replaces those with one declarative object:
+
+* **exponential backoff** — pause ``base_delay_s * multiplier**k``
+  before retry ``k``, capped at ``max_delay_s``;
+* **deterministic jitter** — each pause is stretched by up to
+  ``jitter`` (a fraction) drawn from a ``random.Random(seed)`` stream,
+  so concurrent clients decorrelate *and* a test re-running the same
+  policy sees the exact same pauses;
+* **deadline** — ``deadline_s`` bounds the total time spent across
+  attempts: a retry whose pause would cross the deadline is not taken;
+* **server hints** — a ``Retry-After`` value raises the pause floor
+  (jitter still applies, so a herd told "retry in 1s" does not
+  reconvene in lockstep).
+
+``RetryPolicy`` is frozen and shareable; per-call-sequence state
+(attempt counter, jitter stream, deadline clock) lives in the
+:class:`RetrySchedule` it mints.  Synchronous callers can use
+:meth:`RetryPolicy.run`; async callers drive a schedule by hand.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry shape: attempts, backoff, jitter, deadline.
+
+    ``max_attempts`` counts *attempts*, not retries: the default 5 means
+    one initial try plus up to four retries.  ``seed`` makes the jitter
+    stream deterministic — two schedules minted from equal policies
+    produce identical pause sequences.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    deadline_s: Optional[float] = None
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, monotonic: Callable[[], float] = time.monotonic
+    ) -> "RetrySchedule":
+        """Mint the mutable per-call-sequence state for one operation."""
+        return RetrySchedule(self, monotonic=monotonic)
+
+    def run(
+        self,
+        fn: Callable,
+        *,
+        retryable: Tuple[Type[BaseException], ...],
+        sleep: Callable[[float], None] = time.sleep,
+        monotonic: Callable[[], float] = time.monotonic,
+        retry_after_of: Optional[Callable[[BaseException], Optional[float]]] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Call ``fn()`` under this policy; re-raise when retries run out.
+
+        Only exceptions in ``retryable`` are retried — anything else
+        propagates immediately.  The *last* exception is re-raised
+        unchanged once attempts or the deadline are exhausted, so caller
+        error handling is identical with or without retries.
+        ``retry_after_of(exc)`` may extract a server-suggested pause
+        floor; ``on_retry(attempt, exc, pause)`` observes each retry.
+        """
+        schedule = self.schedule(monotonic=monotonic)
+        while True:
+            try:
+                return fn()
+            except retryable as exc:
+                hint = retry_after_of(exc) if retry_after_of is not None else None
+                pause = schedule.next_pause(retry_after=hint)
+                if pause is None:
+                    raise
+                if on_retry is not None:
+                    on_retry(schedule.attempts, exc, pause)
+                sleep(pause)
+
+
+class RetrySchedule:
+    """Attempt counter + jitter stream + deadline clock for one operation.
+
+    Usage shape (what :meth:`RetryPolicy.run` does internally)::
+
+        schedule = policy.schedule()
+        while True:
+            try:
+                return attempt()
+            except TransientError:
+                pause = schedule.next_pause()
+                if pause is None:
+                    raise
+                time.sleep(pause)
+    """
+
+    __slots__ = ("policy", "attempts", "_rng", "_deadline", "_monotonic")
+
+    def __init__(
+        self, policy: RetryPolicy, monotonic: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.policy = policy
+        self.attempts = 0
+        self._rng = random.Random(policy.seed)
+        self._monotonic = monotonic
+        self._deadline = (
+            monotonic() + policy.deadline_s if policy.deadline_s is not None else None
+        )
+
+    def next_pause(self, retry_after: Optional[float] = None) -> Optional[float]:
+        """Seconds to sleep before the next attempt, or ``None`` to stop.
+
+        ``None`` means attempts are exhausted or the pause would cross
+        the deadline — the caller re-raises its last error.
+        ``retry_after`` (e.g. a server's ``Retry-After``) raises the
+        pause floor before jitter is applied.
+        """
+        policy = self.policy
+        self.attempts += 1
+        if self.attempts >= policy.max_attempts:
+            return None
+        base = policy.base_delay_s * policy.multiplier ** (self.attempts - 1)
+        if base > policy.max_delay_s:
+            base = policy.max_delay_s
+        if retry_after is not None and retry_after > base:
+            base = float(retry_after)
+        pause = base * (1.0 + policy.jitter * self._rng.random())
+        if self._deadline is not None and self._monotonic() + pause > self._deadline:
+            return None
+        return pause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RetrySchedule(attempts={self.attempts}, policy={self.policy})"

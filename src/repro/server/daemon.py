@@ -144,7 +144,17 @@ class ReproServer:
         via the ``X-Repro-Client`` header (else their peer address).
     max_pending:
         Hard backlog cap across all clients; submissions beyond it are
-        rejected with 429 regardless of quota state.
+        shed with 503 + ``Retry-After`` regardless of quota state (a full
+        backlog is server overload, not client misbehaviour — clients
+        retry it, unlike their own 429s).
+    retry_base_s:
+        First requeue delay for jobs submitted with ``max_attempts > 1``;
+        doubles per failed attempt (capped at 30 s).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; exposes
+        ``daemon.job.fail`` (an attempt raises mid-execution) and
+        ``daemon.stream.drop`` (an event stream's connection dies
+        mid-flight, exercising client ``?from=N`` reconnects).
     backend:
         Sweep execution backend name passed to every job's
         :class:`~repro.session.Session` (``"inline"``,
@@ -168,11 +178,15 @@ class ReproServer:
         quota_rate: float = 100.0,
         quota_burst: int = 500,
         max_pending: int = 10_000,
+        retry_base_s: float = 0.5,
+        faults=None,
         backend: Optional[str] = None,
         batch_size: int = 1,
     ) -> None:
         self.host = host
         self.port = port
+        self.retry_base_s = float(retry_base_s)
+        self.faults = faults
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store
@@ -202,6 +216,7 @@ class ReproServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        self._retry_timers: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,6 +246,11 @@ class ReproServer:
                 writer.close()
             except (ConnectionError, OSError):
                 pass
+        # Pending retry backoffs die with the server; their jobs fall
+        # through to the terminal-cancel sweep below.
+        for timer in list(self._retry_timers):
+            timer.cancel()
+        self._retry_timers.clear()
         for job in self.jobs.values():
             if job.state not in JobState.TERMINAL:
                 job.cancel_event.set()
@@ -351,6 +371,7 @@ class ReproServer:
             JobState.DONE: 0,
             JobState.FAILED: 0,
             JobState.CANCELLED: 0,
+            JobState.DEAD: 0,
         }
         for job in self.jobs.values():
             by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -368,7 +389,29 @@ class ReproServer:
             },
         }
         payload["store"] = self.store.describe() if self.store is not None else None
+        if self.store is not None:
+            payload["external_workers"] = self._worker_summary()
         return payload
+
+    def _worker_summary(self) -> Dict[str, object]:
+        """Liveness beacons of ``repro worker`` daemons sharing the store."""
+        from repro.backends.worker import read_heartbeats
+
+        now = time.time()
+        beats = read_heartbeats(self.store)
+        return {
+            "count": len(beats),
+            "workers": {
+                worker: {
+                    "state": beat.get("state"),
+                    "sweep": beat.get("sweep"),
+                    "completed": beat.get("completed"),
+                    "failed": beat.get("failed"),
+                    "age_s": round(now - float(beat.get("time", now)), 3),
+                }
+                for worker, beat in sorted(beats.items())
+            },
+        }
 
     def _bucket(self, client: str) -> TokenBucket:
         bucket = self._buckets.get(client)
@@ -390,9 +433,15 @@ class ReproServer:
                 extra_headers=[("Retry-After", str(max(1, math.ceil(retry_after))))],
             )
         if self._n_pending >= self.max_pending:
+            # Load shedding: a full backlog is *our* overload, not the
+            # client's misbehaviour, so answer 503 (retryable — the
+            # client's RetryPolicy honours the hint) rather than 429.
             return json_response(
-                429,
-                {"error": f"job backlog full ({self.max_pending} pending)"},
+                503,
+                {
+                    "error": f"job backlog full ({self.max_pending} pending)",
+                    "retry_after": 1.0,
+                },
                 extra_headers=[("Retry-After", "1")],
             )
         spec = parse_job_spec(request.json())
@@ -478,6 +527,13 @@ class ReproServer:
                 n = len(lines)
                 writer.write(chunk(batch.encode("utf-8")))
                 await writer.drain()
+                if self.faults is not None and self.faults.should_fire(
+                    "daemon.stream.drop"
+                ):
+                    # Abrupt close with no terminating chunk: the client
+                    # sees a truncated stream and reconnects with ?from=N.
+                    writer.close()
+                    return
                 continue
             if channel.closed:
                 break
@@ -509,7 +565,13 @@ class ReproServer:
             return
         job.state = JobState.RUNNING
         job.started = time.time()
+        job.attempts += 1
+        job.error = None  # a retried attempt starts with a clean slate
         try:
+            if self.faults is not None and self.faults.should_fire("daemon.job.fail"):
+                raise ExperimentError(
+                    f"injected: attempt {job.attempts} of job {job.id} failed"
+                )
             workload, content_key = self._workload_for(job.spec)
             specs = job.spec.policy_specs()
             session = Session(
@@ -557,7 +619,58 @@ class ReproServer:
         except JobCancelled:
             job.finish(JobState.CANCELLED)
         except Exception as exc:
-            job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+            self._attempt_failed(job, exc)
+
+    def _attempt_failed(self, job: Job, exc: Exception) -> None:
+        """One attempt died: requeue with backoff, or go terminal.
+
+        Jobs keep their legacy semantics unless they opted in: with the
+        default ``max_attempts=1`` the first failure is terminal FAILED,
+        exactly as before.  Multi-attempt jobs record the failure chain,
+        wait ``retry_base_s × 2^(attempt-1)`` and requeue — until the
+        attempt budget or the job's wall-clock ``deadline_s`` runs out,
+        at which point they park in the terminal DEAD state.
+        """
+        error = f"{type(exc).__name__}: {exc}"
+        job.failures.append(
+            {"attempt": job.attempts, "error": error, "time": time.time()}
+        )
+        spec = job.spec
+        out_of_time = (
+            spec.deadline_s is not None
+            and time.time() - job.submitted >= spec.deadline_s
+        )
+        if job.attempts >= spec.max_attempts or out_of_time:
+            terminal = JobState.DEAD if spec.max_attempts > 1 else JobState.FAILED
+            if out_of_time and job.attempts < spec.max_attempts:
+                error = f"deadline {spec.deadline_s}s exceeded; last error: {error}"
+            job.finish(terminal, error=error)
+            return
+        pause = min(30.0, self.retry_base_s * (2.0 ** (job.attempts - 1)))
+        job.state = JobState.QUEUED
+        job.error = error
+        job.progress_done = 0
+        self._n_pending += 1
+
+        def _requeue() -> None:
+            self._retry_timers.discard(timer)
+            try:
+                future = self._loop.run_in_executor(self._executor, self._execute, job)
+                future.add_done_callback(lambda f: self._reap(job, f))
+            except RuntimeError:
+                # Executor/loop already shut down; stop() finishes the job.
+                pass
+
+        def _fire() -> None:
+            try:
+                self._loop.call_soon_threadsafe(_requeue)
+            except RuntimeError:
+                pass  # loop closed between the backoff and the firing
+
+        timer = threading.Timer(pause, _fire)
+        timer.daemon = True
+        self._retry_timers.add(timer)
+        timer.start()
 
 
 class ServerThread:

@@ -46,15 +46,23 @@ class JobCancelled(ReproError):
 
 
 class JobState:
-    """Lifecycle states (plain strings — they appear in JSON verbatim)."""
+    """Lifecycle states (plain strings — they appear in JSON verbatim).
+
+    ``DEAD`` is the retry-exhaustion terminal: a job submitted with
+    ``max_attempts > 1`` whose every attempt failed (or whose
+    ``deadline_s`` expired mid-retry).  ``FAILED`` remains the terminal
+    for single-attempt jobs, so pre-resilience clients observe exactly
+    the states they always did.
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    DEAD = "dead"
 
-    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, DEAD})
 
 
 #: Scalar JSON types accepted as scenario factory arguments.
@@ -76,6 +84,12 @@ class JobSpec:
     rus: Tuple[int, ...] = ()  # sweep axis
     policies: Tuple[str, ...] = ()  # sweep axis
     events: bool = False  # run-only: broadcast the trace live
+    #: Execution attempts before the job is declared ``dead`` (1 = the
+    #: historical fail-fast behaviour; failures terminate as ``failed``).
+    max_attempts: int = 1
+    #: Wall-clock budget from submission; an attempt failing past it is
+    #: not retried even with attempts left.
+    deadline_s: Optional[float] = None
 
     @property
     def n_cells(self) -> int:
@@ -106,7 +120,10 @@ class JobSpec:
             "oracle": self.oracle,
             "skip_events": self.skip_events,
             "events": self.events,
+            "max_attempts": self.max_attempts,
         }
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         if self.n_rus is not None:
             out["n_rus"] = self.n_rus
         if self.kind == "sweep":
@@ -153,6 +170,7 @@ def parse_job_spec(payload: object) -> JobSpec:
     known = {
         "kind", "scenario", "scenario_kwargs", "policy", "window", "oracle",
         "skip_events", "n_rus", "rus", "policies", "events",
+        "max_attempts", "deadline_s",
     }
     unknown = sorted(set(payload) - known)
     if unknown:
@@ -204,6 +222,14 @@ def parse_job_spec(payload: object) -> JobSpec:
     skip = _expect(payload, "skip_events", bool, False)
     events = _expect(payload, "events", bool, False)
     n_rus = _expect_int(payload, "n_rus", None)
+    max_attempts = _expect_int(payload, "max_attempts", 1)
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float)):
+            raise JobSpecError("field 'deadline_s' must be a number")
+        if deadline_s <= 0:
+            raise JobSpecError(f"field 'deadline_s' must be > 0, got {deadline_s}")
+        deadline_s = float(deadline_s)
 
     rus: Tuple[int, ...] = ()
     policies: Tuple[str, ...] = ()
@@ -240,6 +266,8 @@ def parse_job_spec(payload: object) -> JobSpec:
         rus=rus,
         policies=policies,
         events=events,
+        max_attempts=max_attempts,
+        deadline_s=deadline_s,
     )
 
 
@@ -342,6 +370,11 @@ class Job:
         self.progress_total = spec.n_cells
         self.result: Optional[Dict[str, object]] = None
         self.error: Optional[str] = None
+        #: Execution attempts started so far (retry bookkeeping).
+        self.attempts = 0
+        #: Failure chain: one ``{"attempt", "error", "time"}`` entry per
+        #: failed attempt, preserved through retries and into ``dead``.
+        self.failures: List[Dict[str, object]] = []
         self.cancel_event = threading.Event()
         self.channel: Optional[EventChannel] = (
             EventChannel(loop) if spec.events else None
@@ -385,6 +418,10 @@ class Job:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.spec.max_attempts > 1 or self.attempts > 1 or self.failures:
+            out["attempts"] = self.attempts
+            out["max_attempts"] = self.spec.max_attempts
+            out["failures"] = list(self.failures)
         if self.channel is not None:
             out["event_lines"] = len(self.channel.lines)
         return out

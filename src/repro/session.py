@@ -865,6 +865,8 @@ class Session:
         arrival_times: Optional[Sequence[int]] = None,
         trace: Optional[TraceMode] = None,
         device: Union[Device, DeviceModel, None] = None,
+        checkpoint_every: int = 0,
+        checkpoint_key: Optional[str] = None,
     ) -> SimulationResult:
         """Execute one spec; returns the full :class:`SimulationResult`.
 
@@ -877,6 +879,14 @@ class Session:
         store, reuse it.  ``trace`` overrides the session's trace mode
         for this run; observers registered through ``hooks`` may attach
         extra sinks via :meth:`SessionHooks.trace_sinks`.
+
+        ``checkpoint_every=N`` makes the run crash-safe: a resumable
+        engine snapshot is written to the session's artifact store every
+        N events (requires a ``store=``), and a re-invocation of the same
+        run after a crash resumes from it — see docs/resilience.md.  The
+        checkpoint key defaults to a deterministic digest of the
+        workload, spec label and RU count; pass ``checkpoint_key`` to
+        override (e.g. to isolate two concurrent identical runs).
         """
         cell_rus, cell_latency, cell_device = self._resolve_device(
             n_rus, reconfig_latency, device
@@ -887,6 +897,20 @@ class Session:
             reconfig_latency=cell_latency,
             device=cell_device,
         )
+        checkpoint_store = None
+        if checkpoint_every:
+            from repro.resilience.checkpoint import run_checkpoint_key
+
+            checkpoint_store = self.cache.store
+            if checkpoint_store is None:
+                raise ExperimentError(
+                    "checkpoint_every requires an artifact store; construct "
+                    "the Session with store=ArtifactStore(...)"
+                )
+            if checkpoint_key is None:
+                checkpoint_key = run_checkpoint_key(
+                    self._content_key, spec.label, cell.n_rus
+                )
         self._emit("on_run_start", cell)
         mobility, ideal = self._cell_artifacts(cell, arrival_times=arrival_times)
         result = run_simulation(
@@ -899,6 +923,9 @@ class Session:
             trace=self.trace_mode if trace is None else trace,
             extra_sinks=self._hook_sinks(cell),
             compiled=self.compiled(),
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            checkpoint_key=checkpoint_key if checkpoint_every else None,
             **_hardware_kwargs(cell),
         )
         self._emit(

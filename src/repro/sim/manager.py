@@ -344,55 +344,17 @@ class ExecutionManager:
         self._push = self.queue.push
         self.clock = 0
         self._trace_primary, self._sinks = resolve_trace_mode(trace, extra_sinks)
-        hooks = None
-        if len(self._sinks) == 1:
-            # Single-sink fast path: skip the fan-out frame per event,
-            # and — when the sink offers the scalar protocol — skip
-            # constructing TraceEvent objects altogether.
-            self._emit = self._sinks[0].on_event  # type: ignore[method-assign]
-            hooks = self._sinks[0].scalar_hooks()
-        if hooks is not None:
-            missing = [key for key, _ in SCALAR_HOOK_KEYS if key not in hooks]
-            if missing:
-                raise SimulationError(
-                    f"{type(self._sinks[0]).__name__}.scalar_hooks() is "
-                    f"missing key(s) {missing}; a scalar-protocol sink must "
-                    f"cover every key in SCALAR_HOOK_KEYS "
-                    f"({[key for key, _ in SCALAR_HOOK_KEYS]}) — use None "
-                    "for ignored kinds, or return None from scalar_hooks() "
-                    "to receive event objects"
-                )
-            self._emit_run_start = hooks["run_start"]
-            self._emit_app_activated = hooks["app_activated"]
-            self._emit_reconfig_start = hooks["reconfig_start"]
-            self._emit_reconfig_end = hooks["reconfig_end"]
-            self._emit_reuse = hooks["reuse"]
-            self._emit_eviction = hooks["eviction"]
-            self._emit_skip = hooks["skip"]
-            self._emit_exec_start = hooks["exec_start"]
-            self._emit_exec_end = hooks["exec_end"]
-            self._emit_app_completed = hooks["app_completed"]
-            self._emit_run_end = hooks["run_end"]
-        else:
-            self._emit_run_start = self._emit_run_start_obj
-            self._emit_app_activated = self._emit_app_activated_obj
-            self._emit_reconfig_start = self._emit_reconfig_start_obj
-            self._emit_reconfig_end = self._emit_reconfig_end_obj
-            self._emit_reuse = self._emit_reuse_obj
-            self._emit_eviction = self._emit_eviction_obj
-            self._emit_skip = self._emit_skip_obj
-            self._emit_exec_start = self._emit_exec_start_obj
-            self._emit_exec_end = self._emit_exec_end_obj
-            self._emit_app_completed = self._emit_app_completed_obj
-            self._emit_run_end = self._emit_run_end_obj
-        # Advisor bookkeeping hooks, resolved once: ``None`` when the
-        # advisor (or the policy it forwards to) left the default no-op —
-        # stateless policies then pay nothing per notification.
-        self._notify_load = resolve_hook(advisor.on_load_complete)
-        self._notify_reuse = resolve_hook(advisor.on_reuse)
-        self._notify_exec_start = resolve_hook(advisor.on_execution_start)
-        self._notify_exec_end = resolve_hook(advisor.on_execution_end)
-        self._notify_activated = resolve_hook(advisor.on_app_activated)
+        self._bind_sinks()
+        self._bind_advisor()
+        #: Checkpoint cadence: events handled so far, and — when armed by
+        #: :func:`repro.resilience.checkpoint.arm_checkpointing` — how
+        #: often and how to persist a snapshot.  ``_resumed`` skips the
+        #: run prologue (RunStart, advisor reset, arrival scheduling)
+        #: after :func:`~repro.resilience.checkpoint.restore_checkpoint`.
+        self._events_done = 0
+        self._checkpoint_every = 0
+        self._checkpoint_write = None
+        self._resumed = False
 
         # Loop-invariant semantics switches, resolved once.
         self._lookahead = semantics.lookahead_apps
@@ -599,6 +561,72 @@ class ExecutionManager:
     def _emit_run_end_obj(self, time):
         self._emit(RunEnd(time=time))
 
+    def _bind_sinks(self) -> None:
+        """(Re)bind the per-kind emit hooks to the current sink tuple.
+
+        Called from ``__init__`` and again after a checkpoint restore
+        swaps the sinks (see :mod:`repro.resilience.checkpoint`).
+        """
+        # Drop a previous single-sink instance-attribute shadow so the
+        # class-level fan-out method is the fallback again.
+        self.__dict__.pop("_emit", None)
+        hooks = None
+        if len(self._sinks) == 1:
+            # Single-sink fast path: skip the fan-out frame per event,
+            # and — when the sink offers the scalar protocol — skip
+            # constructing TraceEvent objects altogether.
+            self._emit = self._sinks[0].on_event  # type: ignore[method-assign]
+            hooks = self._sinks[0].scalar_hooks()
+        if hooks is not None:
+            missing = [key for key, _ in SCALAR_HOOK_KEYS if key not in hooks]
+            if missing:
+                raise SimulationError(
+                    f"{type(self._sinks[0]).__name__}.scalar_hooks() is "
+                    f"missing key(s) {missing}; a scalar-protocol sink must "
+                    f"cover every key in SCALAR_HOOK_KEYS "
+                    f"({[key for key, _ in SCALAR_HOOK_KEYS]}) — use None "
+                    "for ignored kinds, or return None from scalar_hooks() "
+                    "to receive event objects"
+                )
+            self._emit_run_start = hooks["run_start"]
+            self._emit_app_activated = hooks["app_activated"]
+            self._emit_reconfig_start = hooks["reconfig_start"]
+            self._emit_reconfig_end = hooks["reconfig_end"]
+            self._emit_reuse = hooks["reuse"]
+            self._emit_eviction = hooks["eviction"]
+            self._emit_skip = hooks["skip"]
+            self._emit_exec_start = hooks["exec_start"]
+            self._emit_exec_end = hooks["exec_end"]
+            self._emit_app_completed = hooks["app_completed"]
+            self._emit_run_end = hooks["run_end"]
+        else:
+            self._emit_run_start = self._emit_run_start_obj
+            self._emit_app_activated = self._emit_app_activated_obj
+            self._emit_reconfig_start = self._emit_reconfig_start_obj
+            self._emit_reconfig_end = self._emit_reconfig_end_obj
+            self._emit_reuse = self._emit_reuse_obj
+            self._emit_eviction = self._emit_eviction_obj
+            self._emit_skip = self._emit_skip_obj
+            self._emit_exec_start = self._emit_exec_start_obj
+            self._emit_exec_end = self._emit_exec_end_obj
+            self._emit_app_completed = self._emit_app_completed_obj
+            self._emit_run_end = self._emit_run_end_obj
+
+    def _bind_advisor(self) -> None:
+        """(Re)resolve the advisor bookkeeping hooks.
+
+        ``None`` when the advisor (or the policy it forwards to) left the
+        default no-op — stateless policies then pay nothing per
+        notification.  Called from ``__init__`` and again after a
+        checkpoint restore replaces the advisor instance.
+        """
+        advisor = self.advisor
+        self._notify_load = resolve_hook(advisor.on_load_complete)
+        self._notify_reuse = resolve_hook(advisor.on_reuse)
+        self._notify_exec_start = resolve_hook(advisor.on_execution_start)
+        self._notify_exec_end = resolve_hook(advisor.on_execution_end)
+        self._notify_activated = resolve_hook(advisor.on_app_activated)
+
     def run(self) -> TraceView:
         """Execute the whole sequence and return the trace view.
 
@@ -613,22 +641,25 @@ class ExecutionManager:
                 sink.close()
 
     def _run(self) -> TraceView:
-        em = self._emit_run_start
-        if em is not None:
-            em(0, self.n_rus, self.reconfig_latency, len(self.apps),
-               self.device.n_controllers)
-        self.advisor.reset()
-        if self._notify_activated is not None:
-            self._notify_activated(0, 0)
-        em = self._emit_app_activated
-        if em is not None:
-            em(0, 0)
-        for app in self.apps:
-            if app.arrival_time > 0:
-                self.queue.push(app.arrival_time, EventKind.APP_ARRIVAL, app.index)
-        # Kick-start dispatch at t=0 (the first new_task_graph event).
-        self._dispatch_and_start()
+        if not self._resumed:
+            em = self._emit_run_start
+            if em is not None:
+                em(0, self.n_rus, self.reconfig_latency, len(self.apps),
+                   self.device.n_controllers)
+            self.advisor.reset()
+            if self._notify_activated is not None:
+                self._notify_activated(0, 0)
+            em = self._emit_app_activated
+            if em is not None:
+                em(0, 0)
+            for app in self.apps:
+                if app.arrival_time > 0:
+                    self.queue.push(app.arrival_time, EventKind.APP_ARRIVAL, app.index)
+            # Kick-start dispatch at t=0 (the first new_task_graph event).
+            self._dispatch_and_start()
 
+        ckpt_every = self._checkpoint_every
+        ckpt_write = self._checkpoint_write
         guard = 0
         guard_limit = 1000 * self.compiled.n_tasks + 10_000
         queue = self.queue
@@ -652,6 +683,13 @@ class ExecutionManager:
                 guard += 1
                 if guard > guard_limit:  # pragma: no cover - defensive
                     raise SimulationError("simulation exceeded event budget (livelock?)")
+                if ckpt_every:
+                    self._events_done += 1
+                    if self._events_done % ckpt_every == 0:
+                        # Between events is the one consistent cut (no
+                        # handler is mid-flight); see
+                        # repro.resilience.checkpoint.
+                        ckpt_write(self)
 
             if self.state.apps_left == 0:
                 break

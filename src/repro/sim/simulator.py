@@ -118,6 +118,10 @@ def run_simulation(
     extra_sinks: Sequence[TraceSink] = (),
     device: Optional[DeviceModel] = None,
     compiled: Optional[CompiledWorkload] = None,
+    checkpoint_every: int = 0,
+    checkpoint_store=None,
+    checkpoint_key: Optional[str] = None,
+    resume_from: Optional[Dict[str, object]] = None,
 ) -> SimulationResult:
     """Run the sequence and compute headline metrics (engine entry point).
 
@@ -143,6 +147,17 @@ def run_simulation(
     sequence repeatedly (:class:`repro.session.Session` does this
     automatically through its artifact cache); omitted, it is rebuilt on
     the fly with identical results.
+
+    Crash safety (see :mod:`repro.resilience.checkpoint` and
+    docs/resilience.md): with ``checkpoint_every=N`` (requires
+    ``checkpoint_store`` and ``checkpoint_key``) the engine persists a
+    resumable snapshot every N events and removes it when the run
+    completes.  When a usable snapshot already exists under that key the
+    run resumes from it — event-for-event identical to the uninterrupted
+    run — while a corrupt or mismatched snapshot is evicted and the run
+    falls back to a fresh start.  ``resume_from`` restores an explicit
+    decoded checkpoint payload instead (strict: raises
+    :class:`~repro.resilience.checkpoint.CheckpointError` on mismatch).
     """
     if compiled is None:
         compiled = CompiledWorkload.compile(graphs)
@@ -159,7 +174,32 @@ def run_simulation(
         device=device,
         compiled=compiled,
     )
+    if checkpoint_every or resume_from is not None or checkpoint_key is not None:
+        from repro.resilience.checkpoint import (
+            arm_checkpointing,
+            restore_checkpoint,
+            resume_from_store,
+        )
+
+        if resume_from is not None:
+            restore_checkpoint(manager, resume_from)
+        elif checkpoint_store is not None and checkpoint_key is not None:
+            resume_from_store(manager, checkpoint_store, checkpoint_key)
+        if checkpoint_every:
+            if checkpoint_store is None or checkpoint_key is None:
+                raise SimulationError(
+                    "checkpoint_every requires checkpoint_store and "
+                    "checkpoint_key"
+                )
+            arm_checkpointing(
+                manager, checkpoint_every, checkpoint_store, checkpoint_key
+            )
     trace_view = manager.run()
+    if checkpoint_key is not None and checkpoint_store is not None:
+        # The run finished: its checkpoint is spent.  Leaving it behind
+        # would make the *next* invocation of the same run resume into
+        # an already-complete engine instead of re-running.
+        checkpoint_store.remove("checkpoint", checkpoint_key)
     if ideal_makespan_us is None:
         ideal_makespan_us = ideal_makespan(
             graphs,
